@@ -1,0 +1,80 @@
+package rcoe_test
+
+import (
+	"testing"
+
+	"rcoe"
+)
+
+// benchExperiment runs one of the paper's experiments per iteration at
+// Quick scale; run with -bench to regenerate any table or figure, e.g.
+//
+//	go test -bench BenchmarkTable2 -benchtime 1x
+//
+// The rendered table is reported through b.Log on the final iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := rcoe.RunExperiment(id, rcoe.Quick)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == b.N-1 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (voting-algorithm examples).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkDataRace regenerates the §V-A1 data-race tolerance experiment.
+func BenchmarkDataRace(b *testing.B) { benchExperiment(b, "datarace") }
+
+// BenchmarkTable2 regenerates Table II (native Dhrystone/Whetstone).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table III (virtualised Dhrystone/Whetstone).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates Table IV (SPLASH-2 kernels under CC-RCoE).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates Table V (memory bandwidth under contention).
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates Table VI (YCSB workload mixes).
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkFig3 regenerates Fig 3 (Redis/YCSB throughput).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTable7 regenerates Table VII (memory fault injection).
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+
+// BenchmarkTable8 regenerates Table VIII (register fault injection).
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+
+// BenchmarkTable9 regenerates Table IX (overclocking-style burst faults).
+func BenchmarkTable9(b *testing.B) { benchExperiment(b, "table9") }
+
+// BenchmarkTable10 regenerates Table X (error recovery time).
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+
+// BenchmarkFig4 regenerates Fig 4 (throughput with error masking).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkAblateSig measures the signature-configuration trade-off.
+func BenchmarkAblateSig(b *testing.B) { benchExperiment(b, "ablate-sig") }
+
+// BenchmarkAblateCounting compares hardware vs compiler branch counting.
+func BenchmarkAblateCounting(b *testing.B) { benchExperiment(b, "ablate-count") }
+
+// BenchmarkAblateTick sweeps the preemption-timer period.
+func BenchmarkAblateTick(b *testing.B) { benchExperiment(b, "ablate-tick") }
+
+// BenchmarkAblateFletcher contrasts Fletcher with an additive checksum.
+func BenchmarkAblateFletcher(b *testing.B) { benchExperiment(b, "ablate-fletcher") }
+
+// BenchmarkAblateLatency measures detection latency vs tick period.
+func BenchmarkAblateLatency(b *testing.B) { benchExperiment(b, "ablate-latency") }

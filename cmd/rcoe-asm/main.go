@@ -1,0 +1,93 @@
+// rcoe-asm is an assembler/disassembler utility for the simulated ISA.
+//
+// Usage:
+//
+//	rcoe-asm -disasm <image>         disassemble an encoded program image
+//	rcoe-asm -demo [-instrument]     print a demo program, optionally after
+//	                                 the branch-counting compiler pass
+//
+// The binary image format is the flat 8-byte-per-instruction encoding
+// defined in internal/isa.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/compilerpass"
+	"rcoe/internal/isa"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	disasm := flag.String("disasm", "", "disassemble the encoded program image at this path")
+	demo := flag.Bool("demo", false, "emit the demo program")
+	instrument := flag.Bool("instrument", false, "apply the branch-counting pass to the demo")
+	base := flag.Uint64("base", 0x10000, "load address")
+	flag.Parse()
+
+	switch {
+	case *disasm != "":
+		img, err := os.ReadFile(*disasm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-asm: %v\n", err)
+			return 1
+		}
+		prog, err := isa.DecodeProgram(img)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-asm: %v\n", err)
+			return 1
+		}
+		printProgram(prog, *base)
+		return 0
+	case *demo:
+		b := demoProgram()
+		if *instrument {
+			compilerpass.Instrument(b)
+		}
+		prog, err := b.Assemble(*base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-asm: %v\n", err)
+			return 1
+		}
+		printProgram(prog, *base)
+		if *instrument {
+			if err := compilerpass.Verify(prog); err != nil {
+				fmt.Fprintf(os.Stderr, "rcoe-asm: verify: %v\n", err)
+				return 1
+			}
+			fmt.Printf("; %d instrumented branch sites\n", len(compilerpass.BranchSites(prog, *base)))
+		}
+		return 0
+	default:
+		flag.Usage()
+		return 2
+	}
+}
+
+func printProgram(prog []isa.Instr, base uint64) {
+	for i, ins := range prog {
+		fmt.Printf("%#08x: %v\n", base+uint64(i)*isa.InstrBytes, ins)
+	}
+}
+
+// demoProgram is a small counting loop with a call, showing the shapes the
+// compiler pass instruments.
+func demoProgram() *asm.Builder {
+	b := asm.New()
+	b.Li(5, 0)
+	b.Li(6, 10)
+	b.Label("loop")
+	b.Call("bump")
+	b.Blt(5, 6, "loop")
+	b.Hlt()
+	b.Label("bump")
+	b.Addi(5, 5, 1)
+	b.Ret()
+	return b
+}

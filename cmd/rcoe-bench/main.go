@@ -1,0 +1,78 @@
+// rcoe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rcoe-bench [-scale quick|full] [-list] [experiment ...]
+//
+// With no experiment IDs it runs everything in paper order. Each
+// experiment prints the same rows/series the paper reports; absolute
+// numbers are simulator cycles, shapes are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rcoe/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "rcoe-bench: unknown scale %q\n", *scaleFlag)
+		return 2
+	}
+
+	var selected []bench.Experiment
+	if flag.NArg() == 0 {
+		selected = bench.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rcoe-bench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		fmt.Printf("=== %s (%s)\n", e.Title, e.ID)
+		start := time.Now()
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-bench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

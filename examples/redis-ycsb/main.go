@@ -1,0 +1,63 @@
+// redis-ycsb runs the paper's system benchmark (§V-B): a Redis-stand-in
+// key-value server, replicated under LC- or CC-RCoE, behind a simulated
+// NIC, driven by YCSB-style load — and compares throughput against the
+// unreplicated baseline.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rcoe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "redis-ycsb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cases := []struct {
+		label string
+		mode  rcoe.Mode
+		reps  int
+		sig   rcoe.SigConfig
+	}{
+		{"Base ", rcoe.ModeNone, 1, rcoe.SigArgs},
+		{"LC-D ", rcoe.ModeLC, 2, rcoe.SigArgs},
+		{"LC-T ", rcoe.ModeLC, 3, rcoe.SigArgs},
+		{"CC-D ", rcoe.ModeCC, 2, rcoe.SigArgs},
+		{"CC-T ", rcoe.ModeCC, 3, rcoe.SigArgs},
+	}
+	var base float64
+	fmt.Println("YCSB-A over the replicated key-value server (48 records, 150 ops):")
+	for _, c := range cases {
+		res, err := rcoe.RunKV(rcoe.KVOptions{
+			System: rcoe.Config{
+				Mode:       c.mode,
+				Replicas:   c.reps,
+				Sig:        c.sig,
+				TickCycles: 60_000,
+			},
+			Workload:    rcoe.YCSBA,
+			Records:     48,
+			Operations:  150,
+			TraceOutput: true,
+			Seed:        7,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.label, err)
+		}
+		if c.mode == rcoe.ModeNone {
+			base = res.Throughput
+		}
+		fmt.Printf("  %s %6.1f ops/Mcycle (%3.0f%% of base)  syncs=%d votes=%d\n",
+			c.label, res.Throughput, 100*res.Throughput/base,
+			res.Stats.Syncs, res.Stats.Votes)
+	}
+	fmt.Println("\nReplication costs throughput (the paper's Fig. 3); the CC")
+	fmt.Println("driver pays extra for kernel-mediated device access (§III-E).")
+	return nil
+}

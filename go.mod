@@ -1,0 +1,3 @@
+module rcoe
+
+go 1.22

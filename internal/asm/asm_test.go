@@ -1,0 +1,165 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"rcoe/internal/isa"
+)
+
+func TestLabelsResolveToAbsoluteAddresses(t *testing.T) {
+	b := New()
+	b.Li(1, 0)
+	b.Label("target")
+	b.Addi(1, 1, 1)
+	b.J("target")
+	prog, err := b.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := prog[2]
+	if j.Op != isa.OpJ || uint64(uint32(j.Imm)) != 0x1000+8 {
+		t.Fatalf("jump target = %#x, want %#x", uint32(j.Imm), 0x1008)
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := New()
+	b.J("nowhere")
+	if _, err := b.Assemble(0); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("undefined label not reported: %v", err)
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := New()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatalf("duplicate label accepted")
+	}
+}
+
+func TestBadRegisterFails(t *testing.T) {
+	b := New()
+	b.Add(40, 0, 0)
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatalf("register 40 accepted")
+	}
+}
+
+func TestLi64SingleInstructionWhenSmall(t *testing.T) {
+	b := New()
+	b.Li64(1, 100)
+	b.Li64(2, 1<<40)
+	prog, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 {
+		t.Fatalf("expected 1+2 instructions, got %d", len(prog))
+	}
+	if prog[0].Op != isa.OpLi || prog[1].Op != isa.OpLi || prog[2].Op != isa.OpLih {
+		t.Fatalf("Li64 lowering wrong: %v", prog)
+	}
+}
+
+func TestLiLabel(t *testing.T) {
+	b := New()
+	b.LiLabel(1, "fn")
+	b.Hlt()
+	b.Label("fn")
+	b.Ret()
+	prog, err := b.Assemble(0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Op != isa.OpLi || uint64(uint32(prog[0].Imm)) != 0x2000+16 {
+		t.Fatalf("LiLabel = %#x, want %#x", uint32(prog[0].Imm), 0x2010)
+	}
+}
+
+func TestRewriteBeforeShiftsLabelsAndFixups(t *testing.T) {
+	b := New()
+	b.Li(1, 0)
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.Hlt()
+	b.RewriteBefore(
+		func(i isa.Instr) bool { return i.Op.IsBranch() },
+		func(isa.Instr) []isa.Instr {
+			return []isa.Instr{{Op: isa.OpNop}}
+		},
+	)
+	prog, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li, addi, nop, blt, hlt
+	if len(prog) != 5 {
+		t.Fatalf("program length %d, want 5", len(prog))
+	}
+	if prog[2].Op != isa.OpNop || prog[3].Op != isa.OpBlt {
+		t.Fatalf("insertion order wrong: %v", prog)
+	}
+	// The loop label must now point at the addi (index 1 => address 8).
+	if uint64(uint32(prog[3].Imm)) != 8 {
+		t.Fatalf("branch target = %#x, want 8", uint32(prog[3].Imm))
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	b := New()
+	b.Push(5)
+	b.Pop(6)
+	prog, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("push/pop expanded to %d instrs", len(prog))
+	}
+	if prog[0].Op != isa.OpAddi || prog[1].Op != isa.OpSt8 ||
+		prog[2].Op != isa.OpLd8 || prog[3].Op != isa.OpAddi {
+		t.Fatalf("push/pop lowering wrong: %v", prog)
+	}
+}
+
+func TestBadLoadStoreSize(t *testing.T) {
+	b := New()
+	b.Ld(3, 1, 2, 0)
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatalf("load size 3 accepted")
+	}
+	b2 := New()
+	b2.St(16, 1, 2, 0)
+	if _, err := b2.Assemble(0); err == nil {
+		t.Fatalf("store size 16 accepted")
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustAssemble did not panic")
+		}
+	}()
+	b := New()
+	b.J("missing")
+	b.MustAssemble(0)
+}
+
+func TestFconst(t *testing.T) {
+	b := New()
+	b.Fconst(1, 1.0)
+	prog, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.0 = 0x3FF0000000000000 needs the two-instruction form.
+	if len(prog) != 2 {
+		t.Fatalf("Fconst lowering = %d instrs", len(prog))
+	}
+}

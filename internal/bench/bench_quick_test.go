@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestQuickExperiments exercises a representative subset of the
+// experiment runners end to end at Quick scale.
+func TestQuickExperiments(t *testing.T) {
+	for _, id := range []string{"table1", "table6", "ablate-fletcher"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		tbl, err := e.Run(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tbl.String() == "" {
+			t.Fatalf("%s: empty table", id)
+		}
+		t.Logf("%s:\n%s", id, tbl)
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	if len(All()) < 15 {
+		t.Fatalf("only %d experiments registered", len(All()))
+	}
+	for _, e := range All() {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+	}
+	if _, ok := Lookup("nonexistent"); ok {
+		t.Fatalf("lookup of unknown id succeeded")
+	}
+}

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+
+	"rcoe/internal/core"
+	"rcoe/internal/faults"
+	"rcoe/internal/harness"
+	"rcoe/internal/machine"
+	"rcoe/internal/stats"
+	"rcoe/internal/workload"
+)
+
+// faultKV builds the KV options the fault campaigns run against.
+func faultKV(mode core.Mode, reps int, prof machine.Profile, trace bool, ops uint64) harness.KVOptions {
+	return harness.KVOptions{
+		System: core.Config{
+			Mode: mode, Replicas: reps, Profile: prof,
+			TickCycles:        50_000,
+			ExceptionBarriers: prof.Name == "arm", // the paper's Arm study adds them
+		},
+		Workload:    workload.YCSBA,
+		Records:     96,
+		Operations:  ops,
+		TraceOutput: trace,
+	}
+}
+
+// memRow runs one Table VII configuration and renders its outcome counts.
+func memRow(t *stats.Table, label string, opts faults.MemCampaignOptions) error {
+	tally, err := faults.MemCampaign(opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	c := tally.Counts
+	t.AddRow(label,
+		fmt.Sprintf("%d", tally.Injected),
+		fmt.Sprintf("%d", tally.Observed()),
+		fmt.Sprintf("%d", c[faults.OutcomeYCSBCorruption]),
+		fmt.Sprintf("%d", c[faults.OutcomeYCSBError]),
+		fmt.Sprintf("%d", c[faults.OutcomeUserMemFault]+c[faults.OutcomeOtherUserFault]),
+		fmt.Sprintf("%d", c[faults.OutcomeKernelException]),
+		fmt.Sprintf("%d", c[faults.OutcomeBarrierTimeout]),
+		fmt.Sprintf("%d", c[faults.OutcomeSignatureMismatch]+c[faults.OutcomeMasked]),
+		fmt.Sprintf("%d", tally.Uncontrolled()),
+		fmt.Sprintf("%d", tally.Controlled()),
+	)
+	return nil
+}
+
+func memHeaders() []string {
+	return []string{"config", "flips", "observed", "ycsb-corr", "ycsb-err",
+		"user-faults", "kernel-exc", "timeouts", "sig-mism", "uncontrolled", "controlled"}
+}
+
+// Table7 reproduces the memory fault-injection study: the x86 variant
+// targets all kernels plus the primary's user memory; the Arm variant
+// targets every replica's memory and adds exception-handler barriers. The
+// -N rows disable driver output tracing, which dramatically raises the
+// undetected-corruption rate.
+func Table7(s Scale) (*stats.Table, error) {
+	trials, ops := 10, uint64(400)
+	if s == Full {
+		trials, ops = 40, 800
+	}
+	t := stats.NewTable("Table VII: memory fault injection outcomes (trials)", memHeaders()...)
+	mk := func(mode core.Mode, reps int, prof machine.Profile, trace, allReps bool, seed uint64) faults.MemCampaignOptions {
+		return faults.MemCampaignOptions{
+			KV:                faultKV(mode, reps, prof, trace, ops),
+			Trials:            trials,
+			FlipEveryCycles:   700,
+			MaxFlips:          10_000,
+			TargetAllReplicas: allReps,
+			IncludeDMA:        true,
+			Seed:              seed,
+		}
+	}
+	t.AddRow("-- x86: kernels + primary user memory --")
+	x86 := machine.X86()
+	if err := memRow(t, "Base", mk(core.ModeNone, 1, x86, true, false, 1)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-D", mk(core.ModeLC, 2, x86, true, false, 2)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-T", mk(core.ModeLC, 3, x86, true, false, 3)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "CC-D", mk(core.ModeCC, 2, x86, true, false, 4)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "CC-T", mk(core.ModeCC, 3, x86, true, false, 5)); err != nil {
+		return nil, err
+	}
+	t.AddRow("-- arm: all replicas' memory, exception barriers --")
+	arm := machine.Arm()
+	if err := memRow(t, "LC-D", mk(core.ModeLC, 2, arm, true, true, 6)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-T", mk(core.ModeLC, 3, arm, true, true, 7)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "CC-D", mk(core.ModeCC, 2, arm, true, true, 8)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-D-N (no output traces)", mk(core.ModeLC, 2, arm, false, true, 9)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-T-N (no output traces)", mk(core.ModeLC, 3, arm, false, true, 10)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table8 reproduces the register fault-injection study on md5sum: the
+// baseline crashes or silently corrupts; CC-RCoE DMR controls every
+// error.
+func Table8(s Scale) (*stats.Table, error) {
+	trials, msg := 8, 16384
+	if s == Full {
+		trials, msg = 40, 65536
+	}
+	t := stats.NewTable("Table VIII: register fault injection on md5 (trials)",
+		"config", "trials", "crashes", "corruptions", "timeouts", "mismatches",
+		"uncontrolled", "controlled")
+	for _, c := range []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"Base", core.Config{Mode: core.ModeNone, Replicas: 1}},
+		{"CC-D", core.Config{Mode: core.ModeCC, Replicas: 2}},
+	} {
+		tally, err := faults.RegCampaign(faults.RegCampaignOptions{
+			System: c.cfg, MessageBytes: msg, Trials: trials, Seed: 17,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.label, fmt.Sprintf("%d", tally.Injected),
+			fmt.Sprintf("%d", tally.Crashes), fmt.Sprintf("%d", tally.Corruptions),
+			fmt.Sprintf("%d", tally.Timeouts), fmt.Sprintf("%d", tally.Mismatches),
+			fmt.Sprintf("%d", tally.Uncontrolled()), fmt.Sprintf("%d", tally.Controlled()))
+	}
+	return t, nil
+}
+
+// Table9 reproduces the overclocking study with the burst-fault model:
+// correlated multi-bit faults across all replicas' memory, where user-mode
+// errors dominate and a small fraction escapes detection.
+func Table9(s Scale) (*stats.Table, error) {
+	trials, ops := 8, uint64(300)
+	if s == Full {
+		trials, ops = 30, 600
+	}
+	t := stats.NewTable("Table IX: overclocking-style burst faults (trials)", memHeaders()...)
+	arm := machine.Arm()
+	mk := func(mode core.Mode, reps int, seed uint64) faults.MemCampaignOptions {
+		return faults.MemCampaignOptions{
+			KV:                faultKV(mode, reps, arm, true, ops),
+			Trials:            trials,
+			FlipEveryCycles:   600,
+			MaxFlips:          12_000,
+			TargetAllReplicas: true,
+			IncludeDMA:        true,
+			Burst:             4,
+			Seed:              seed,
+		}
+	}
+	if err := memRow(t, "Base", mk(core.ModeNone, 1, 21)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-D", mk(core.ModeLC, 2, 22)); err != nil {
+		return nil, err
+	}
+	if err := memRow(t, "LC-T", mk(core.ModeLC, 3, 23)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table10 measures the TMR->DMR downgrade cost: removing the primary
+// (interrupt re-routing plus DMA reconfiguration) versus removing another
+// replica, for LC and CC on x86 and LC on Arm (CC masking needs the spare
+// PTE bit the Arm profile lacks).
+func Table10(Scale) (*stats.Table, error) {
+	t := stats.NewTable("Table X: recovery cost (cycles)",
+		"platform", "LC primary", "LC other", "CC primary", "CC other")
+	row := func(prof machine.Profile) ([4]string, error) {
+		var out [4]string
+		cases := []struct {
+			idx    int
+			mode   core.Mode
+			faulty int
+		}{
+			{0, core.ModeLC, 0}, {1, core.ModeLC, 2},
+			{2, core.ModeCC, 0}, {3, core.ModeCC, 2},
+		}
+		for _, c := range cases {
+			if c.mode == core.ModeCC && !prof.HasSparePTEBit && c.faulty == 0 {
+				out[c.idx] = "N/A (no spare PTE bit)"
+				continue
+			}
+			res, err := faults.RecoveryTrial(faults.RecoveryOptions{
+				System:        core.Config{Mode: c.mode, Profile: prof},
+				FaultyReplica: c.faulty,
+				Seed:          31,
+			})
+			if err != nil {
+				return out, fmt.Errorf("%s/%v/faulty=%d: %w", prof.Name, c.mode, c.faulty, err)
+			}
+			out[c.idx] = fmt.Sprintf("%d", res.Cycles)
+		}
+		return out, nil
+	}
+	for _, prof := range []machine.Profile{machine.X86(), machine.Arm()} {
+		cells, err := row(prof)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(prof.Name, cells[0], cells[1], cells[2], cells[3])
+	}
+	return t, nil
+}
+
+// Fig4 shows service continuing across a masked failure: TMR throughput
+// sampled in windows, with the downgrade marked, settling at DMR levels.
+func Fig4(Scale) (*stats.Table, error) {
+	res, err := faults.RecoveryTrial(faults.RecoveryOptions{
+		System:         core.Config{Mode: core.ModeLC},
+		FaultyReplica:  0,
+		Operations:     240,
+		InjectAfterOps: 90,
+		Seed:           41,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig 4: KV throughput with error masking (ops/Mcycle per window)",
+		"window", "throughput", "event")
+	for i, tp := range res.WindowThroughput {
+		ev := ""
+		if i == res.DowngradeWindow {
+			ev = "<- fault injected; TMR downgrades to DMR"
+		}
+		t.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.1f", tp), ev)
+	}
+	t.AddRow("total", fmt.Sprintf("%.1f", res.Throughput),
+		fmt.Sprintf("recovery took %d cycles", res.Cycles))
+	return t, nil
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"rcoe/internal/core"
+	"rcoe/internal/guest"
+	"rcoe/internal/harness"
+	"rcoe/internal/machine"
+	"rcoe/internal/stats"
+	"rcoe/internal/workload"
+)
+
+// Table6 documents the YCSB workload mixes the system benchmark uses
+// (the paper's workload-definition table).
+func Table6(Scale) (*stats.Table, error) {
+	t := stats.NewTable("Table VI: YCSB workload mixes",
+		"workload", "operations", "key distribution")
+	t.AddRow("A", "50% read / 50% update", "zipfian")
+	t.AddRow("B", "95% read / 5% update", "zipfian")
+	t.AddRow("C", "100% read", "zipfian")
+	t.AddRow("D", "95% read / 5% insert", "latest")
+	t.AddRow("E", "95% scan / 5% insert", "zipfian + uniform(1,50)")
+	t.AddRow("F", "50% read / 50% read-modify-write", "zipfian")
+	return t, nil
+}
+
+// fig3Case is one bar of Fig 3: a replication mode/degree with a
+// signature configuration.
+type fig3Case struct {
+	label string
+	mode  core.Mode
+	reps  int
+	sig   core.SigConfig
+}
+
+func fig3Cases() []fig3Case {
+	return []fig3Case{
+		{"Base", core.ModeNone, 1, core.SigArgs},
+		{"LC-D-N", core.ModeLC, 2, core.SigIO},
+		{"LC-D-A", core.ModeLC, 2, core.SigArgs},
+		{"LC-D-S", core.ModeLC, 2, core.SigSync},
+		{"LC-T-N", core.ModeLC, 3, core.SigIO},
+		{"LC-T-A", core.ModeLC, 3, core.SigArgs},
+		{"LC-T-S", core.ModeLC, 3, core.SigSync},
+		{"CC-D-N", core.ModeCC, 2, core.SigIO},
+		{"CC-D-A", core.ModeCC, 2, core.SigArgs},
+		{"CC-D-S", core.ModeCC, 2, core.SigSync},
+		{"CC-T-N", core.ModeCC, 3, core.SigIO},
+		{"CC-T-A", core.ModeCC, 3, core.SigArgs},
+		{"CC-T-S", core.ModeCC, 3, core.SigSync},
+	}
+}
+
+// Fig3 measures KV-server throughput under the YCSB workloads for every
+// replication/signature configuration, relative to the unreplicated
+// baseline (the paper's Fig. 3 bar charts; YCSB-F is omitted there for
+// readability and included here for completeness).
+func Fig3(s Scale) (*stats.Table, error) {
+	kinds := []workload.Kind{workload.YCSBA, workload.YCSBB, workload.YCSBC,
+		workload.YCSBD, workload.YCSBE}
+	profiles := []machine.Profile{machine.X86()}
+	records, ops := uint64(48), uint64(120)
+	if s == Full {
+		profiles = append(profiles, machine.Arm())
+		records, ops = 128, 400
+		kinds = append(kinds, workload.YCSBF)
+	}
+	var headers []string
+	headers = append(headers, "config")
+	for _, k := range kinds {
+		headers = append(headers, "YCSB-"+k.String())
+	}
+	t := stats.NewTable("Fig 3: KV throughput (ops/Mcycle; % of base)", headers...)
+	for _, prof := range profiles {
+		t.AddRow("-- " + prof.Name + " --")
+		base := map[workload.Kind]float64{}
+		for _, c := range fig3Cases() {
+			row := []string{c.label}
+			for _, kind := range kinds {
+				res, err := harness.RunKV(harness.KVOptions{
+					System: core.Config{
+						Mode: c.mode, Replicas: c.reps, Sig: c.sig,
+						Profile: prof, TickCycles: 60_000,
+					},
+					Workload:    kind,
+					Records:     records,
+					Operations:  ops,
+					TraceOutput: true,
+					Seed:        11,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig3 %s/%s/%v: %w", prof.Name, c.label, kind, err)
+				}
+				if c.mode == core.ModeNone {
+					base[kind] = res.Throughput
+					row = append(row, fmt.Sprintf("%.1f", res.Throughput))
+				} else {
+					row = append(row, fmt.Sprintf("%.1f (%.0f%%)", res.Throughput,
+						100*res.Throughput/base[kind]))
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// AblateSig isolates the signature-configuration trade-off on one
+// workload: cost rises from N to A to S while detection latency falls
+// (approximated by votes per operation).
+func AblateSig(s Scale) (*stats.Table, error) {
+	ops := uint64(150)
+	if s == Full {
+		ops = 500
+	}
+	t := stats.NewTable("Ablation: signature configuration (LC-D, YCSB-A)",
+		"config", "ops/Mcycle", "votes", "votes/op")
+	for _, sig := range []core.SigConfig{core.SigIO, core.SigArgs, core.SigSync} {
+		res, err := harness.RunKV(harness.KVOptions{
+			System: core.Config{
+				Mode: core.ModeLC, Replicas: 2, Sig: sig, TickCycles: 60_000,
+			},
+			Workload: workload.YCSBA, Records: 48, Operations: ops,
+			TraceOutput: true, Seed: 11,
+		})
+		if err != nil {
+			return nil, err
+		}
+		votes := res.Stats.Votes
+		t.AddRow(sig.String(), fmt.Sprintf("%.1f", res.Throughput),
+			fmt.Sprintf("%d", votes), fmt.Sprintf("%.2f", float64(votes)/float64(res.Ops)))
+	}
+	return t, nil
+}
+
+// AblateTick sweeps the preemption-timer period: faster ticks bound
+// detection latency more tightly but synchronise more often.
+func AblateTick(s Scale) (*stats.Table, error) {
+	ticks := []uint64{15_000, 30_000, 60_000, 120_000, 240_000}
+	ops := uint64(120)
+	if s == Full {
+		ops = 400
+	}
+	t := stats.NewTable("Ablation: tick period vs overhead (LC-D, YCSB-A)",
+		"tick cycles", "ops/Mcycle", "syncs")
+	for _, tick := range ticks {
+		res, err := harness.RunKV(harness.KVOptions{
+			System: core.Config{
+				Mode: core.ModeLC, Replicas: 2, TickCycles: tick,
+			},
+			Workload: workload.YCSBA, Records: 48, Operations: ops,
+			TraceOutput: true, Seed: 11,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", tick), fmt.Sprintf("%.1f", res.Throughput),
+			fmt.Sprintf("%d", res.Stats.Syncs))
+	}
+	return t, nil
+}
+
+// AblateCounting compares hardware-PMU branch counting against the
+// compiler-assisted reserved-register scheme on the same (x86) machine,
+// isolating the instrumentation cost (§III-D).
+func AblateCounting(s Scale) (*stats.Table, error) {
+	loops := int64(1500)
+	reps := 3
+	if s == Full {
+		loops = 6000
+		reps = 8
+	}
+	t := stats.NewTable("Ablation: branch counting scheme (CC-D on x86, kilocycles)",
+		"workload", "hardware PMU", "compiler-assisted", "penalty")
+	for _, w := range []string{"dhrystone", "whetstone"} {
+		var hw, sw *stats.Sample
+		var err error
+		mk := func(force bool) (*stats.Sample, error) {
+			cfg := core.Config{
+				Mode: core.ModeCC, Replicas: 2, TickCycles: 30_000,
+				ForceCompilerCounting: force,
+			}
+			if w == "dhrystone" {
+				return repeatRuns(cfg, guest.Dhrystone(loops), reps, 3_000_000_000)
+			}
+			return repeatRuns(cfg, guest.Whetstone(loops/5), reps, 3_000_000_000)
+		}
+		if hw, err = mk(false); err != nil {
+			return nil, err
+		}
+		if sw, err = mk(true); err != nil {
+			return nil, err
+		}
+		t.AddRow(w, fmt.Sprintf("%.0f", hw.Mean()/1000), fmt.Sprintf("%.0f", sw.Mean()/1000),
+			factor(sw.Mean(), hw.Mean()))
+	}
+	return t, nil
+}

@@ -1,0 +1,91 @@
+// Package checksum implements the order-sensitive Fletcher checksum used
+// by RCoE state signatures.
+//
+// The paper (§III-C) reduces critical kernel-state updates, driver
+// contributions and system-call arguments to a three-word signature: an
+// event count plus a checksum over the sequence of state-changing values.
+// A Fletcher checksum is chosen because it is sensitive both to the values
+// and to the order in which they are accumulated, so transposed updates —
+// which an additive checksum would miss — still produce divergent
+// signatures.
+package checksum
+
+// fletcherMod is the largest prime below 2^32, used to reduce the two
+// running sums. Working modulo a prime (rather than 2^32-1 as in the
+// textbook Fletcher-64) keeps the sums well mixed under long runs of
+// identical words.
+const fletcherMod = 4294967291
+
+// Fletcher accumulates an order-sensitive checksum over 64-bit words.
+// The zero value is ready to use.
+type Fletcher struct {
+	lo uint64 // running sum of words
+	hi uint64 // running sum of running sums
+	n  uint64 // number of words accumulated
+}
+
+// Add folds one 64-bit word into the checksum.
+func (f *Fletcher) Add(w uint64) {
+	// Fold the upper half into the lower so that all 64 bits of the input
+	// affect the sums even though arithmetic is mod ~2^32.
+	v := (w >> 32) ^ (w & 0xffffffff) ^ (w >> 48 << 16)
+	f.lo = (f.lo + v) % fletcherMod
+	f.hi = (f.hi + f.lo) % fletcherMod
+	f.n++
+}
+
+// AddBytes folds a byte buffer into the checksum, 8 bytes at a time with a
+// zero-padded tail. The buffer length is folded first so that otherwise
+// identical prefixes of different lengths produce different checksums.
+func (f *Fletcher) AddBytes(b []byte) {
+	f.Add(uint64(len(b)))
+	var i int
+	for ; i+8 <= len(b); i += 8 {
+		f.Add(le64(b[i:]))
+	}
+	if i < len(b) {
+		var tail [8]byte
+		copy(tail[:], b[i:])
+		f.Add(le64(tail[:]))
+	}
+}
+
+// Sum returns the current 64-bit checksum value.
+func (f *Fletcher) Sum() uint64 {
+	return f.hi<<32 | f.lo
+}
+
+// Count returns the number of words accumulated so far.
+func (f *Fletcher) Count() uint64 { return f.n }
+
+// Reset returns the checksum to its initial state.
+func (f *Fletcher) Reset() {
+	f.lo, f.hi, f.n = 0, 0, 0
+}
+
+// State exposes the raw accumulator so callers can persist the checksum
+// in simulated RAM (the kernel keeps its signature accumulator in the
+// replica's memory partition, where fault injection can reach it).
+func (f *Fletcher) State() (lo, hi, n uint64) {
+	return f.lo, f.hi, f.n
+}
+
+// Restore rebuilds a Fletcher from persisted accumulator state.
+func Restore(lo, hi, n uint64) *Fletcher {
+	return &Fletcher{lo: lo, hi: hi, n: n}
+}
+
+// Sum64 is a convenience that checksums a slice of words in order.
+func Sum64(words []uint64) uint64 {
+	var f Fletcher
+	for _, w := range words {
+		f.Add(w)
+	}
+	return f.Sum()
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,150 @@
+package checksum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var f Fletcher
+	if got := f.Sum(); got != 0 {
+		t.Fatalf("empty Sum() = %#x, want 0", got)
+	}
+	if got := f.Count(); got != 0 {
+		t.Fatalf("empty Count() = %d, want 0", got)
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	a := Sum64([]uint64{1, 2, 3})
+	b := Sum64([]uint64{3, 2, 1})
+	if a == b {
+		t.Fatalf("checksum is order-insensitive: %#x", a)
+	}
+}
+
+func TestValueSensitivity(t *testing.T) {
+	a := Sum64([]uint64{10, 20, 30})
+	b := Sum64([]uint64{10, 21, 30})
+	if a == b {
+		t.Fatalf("single-word change not detected: %#x", a)
+	}
+}
+
+func TestHighBitsMatter(t *testing.T) {
+	a := Sum64([]uint64{0x0000000100000000})
+	b := Sum64([]uint64{0x0000000000000000})
+	if a == b {
+		t.Fatalf("upper 32 bits ignored: %#x", a)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var f Fletcher
+	f.Add(42)
+	f.Reset()
+	if f.Sum() != 0 || f.Count() != 0 {
+		t.Fatalf("Reset did not clear state: sum=%#x count=%d", f.Sum(), f.Count())
+	}
+	f.Add(42)
+	var g Fletcher
+	g.Add(42)
+	if f.Sum() != g.Sum() {
+		t.Fatalf("post-Reset stream differs from fresh stream")
+	}
+}
+
+func TestAddBytesLengthSensitive(t *testing.T) {
+	var a, b Fletcher
+	a.AddBytes([]byte{1, 2, 3})
+	b.AddBytes([]byte{1, 2, 3, 0}) // same padded words, different length
+	if a.Sum() == b.Sum() {
+		t.Fatalf("length not folded into checksum")
+	}
+}
+
+func TestAddBytesTailPadding(t *testing.T) {
+	var a, b Fletcher
+	a.AddBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	b.AddBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if a.Sum() != b.Sum() {
+		t.Fatalf("identical buffers disagree: %#x vs %#x", a.Sum(), b.Sum())
+	}
+}
+
+func TestCount(t *testing.T) {
+	var f Fletcher
+	for i := 0; i < 17; i++ {
+		f.Add(uint64(i))
+	}
+	if f.Count() != 17 {
+		t.Fatalf("Count() = %d, want 17", f.Count())
+	}
+}
+
+// Property: identical word streams always produce identical sums, and the
+// sum is deterministic across repeated computation.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(words []uint64) bool {
+		return Sum64(words) == Sum64(words)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: appending a word changes the checksum (no trivial absorbing
+// state) for non-pathological streams.
+func TestQuickAppendChanges(t *testing.T) {
+	f := func(words []uint64, extra uint64) bool {
+		base := Sum64(words)
+		ext := Sum64(append(append([]uint64{}, words...), extra|1))
+		// Appending any word bumps the word count path through hi, so the
+		// sums must differ unless a modular coincidence occurs; tolerate
+		// none for the |1 forced-nonzero case with short streams.
+		if len(words) > 1024 {
+			return true
+		}
+		return base != ext
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swapping two adjacent distinct words changes the sum
+// (order sensitivity in general position, not just the fixed example).
+func TestQuickSwapDetected(t *testing.T) {
+	f := func(a, b uint64, prefix []uint64) bool {
+		if a == b {
+			return true
+		}
+		s1 := Sum64(append(append([]uint64{}, prefix...), a, b))
+		s2 := Sum64(append(append([]uint64{}, prefix...), b, a))
+		return s1 != s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFletcherAdd(b *testing.B) {
+	var f Fletcher
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+	_ = f.Sum()
+}
+
+func BenchmarkFletcherAddBytes4K(b *testing.B) {
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(int64(len(buf)))
+	var f Fletcher
+	for i := 0; i < b.N; i++ {
+		f.AddBytes(buf)
+	}
+	_ = f.Sum()
+}

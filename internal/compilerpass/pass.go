@@ -1,0 +1,148 @@
+// Package compilerpass implements the compiler-assisted branch counting
+// that CC-RCoE needs on machines without a precise PMU (the paper's GCC
+// plugin for Armv7-A, §III-D).
+//
+// Instrument prepends a single-cycle increment of the reserved counter
+// register (isa.RBC, the --ffixed-r9 analogue) to every control-transfer
+// instruction. Because the increment precedes the branch, a replica
+// preempted exactly at an instrumented branch has already counted the
+// branch it has not yet taken — the Listing 3 race that the kernel's
+// leader election must correct for, which it does using the branch-site
+// set this package reports.
+//
+// ScanAtomics is the checking tool the paper proposes for finding raw
+// ldrex/strex (load-linked/store-conditional) pairs, whose retry loops
+// execute a replica-dependent number of branches and must be replaced by
+// the kernel-mediated atomic system call.
+package compilerpass
+
+import (
+	"fmt"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+)
+
+// Instrument rewrites the program in b, prepending `addi RBC, RBC, 1` to
+// every branch, jump and call. Call before Assemble.
+func Instrument(b *asm.Builder) {
+	b.RewriteBefore(
+		func(i isa.Instr) bool { return i.Op.IsBranch() },
+		func(isa.Instr) []isa.Instr {
+			return []isa.Instr{{Op: isa.OpAddi, Rd: isa.RBC, Rs1: isa.RBC, Imm: 1}}
+		},
+	)
+}
+
+// BranchSites returns the set of branch-instruction addresses in an
+// assembled program — the metadata the kernel needs for the Listing 3
+// counter-race fixup. It must be called on the *instrumented* program.
+func BranchSites(prog []isa.Instr, base uint64) map[uint64]bool {
+	sites := make(map[uint64]bool)
+	for i, ins := range prog {
+		if ins.Op.IsBranch() {
+			sites[base+uint64(i)*isa.InstrBytes] = true
+		}
+	}
+	return sites
+}
+
+// Verify checks that every branch in the assembled program is immediately
+// preceded by the counter increment, i.e. that the program really was
+// instrumented (guarding against un-recompiled code, which the paper notes
+// must all be rebuilt for compiler-assisted CC-RCoE).
+func Verify(prog []isa.Instr) error {
+	for i, ins := range prog {
+		if !ins.Op.IsBranch() {
+			continue
+		}
+		if i == 0 {
+			return fmt.Errorf("compilerpass: branch at index 0 has no preceding increment")
+		}
+		p := prog[i-1]
+		if p.Op != isa.OpAddi || p.Rd != isa.RBC || p.Rs1 != isa.RBC || p.Imm != 1 {
+			return fmt.Errorf("compilerpass: branch at index %d not instrumented", i)
+		}
+	}
+	return nil
+}
+
+// ScanAtomics reports the indices of raw load-linked/store-conditional
+// instructions, which are incompatible with compiler-assisted CC-RCoE and
+// must be converted to the kernel-mediated atomic system call.
+func ScanAtomics(prog []isa.Instr) []int {
+	var hits []int
+	for i, ins := range prog {
+		if ins.Op == isa.OpLL || ins.Op == isa.OpSC {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}
+
+// RewriteAtomics is the binary-rewriting tool the paper proposes for
+// compiler-assisted CC-RCoE (§III-D): it scans for the canonical
+// load-linked/store-conditional retry loop
+//
+//	retry: ll   a, (p)
+//	       addi a, a, delta
+//	       sc   c, (p), a
+//	       bne  c, r0, retry
+//
+// and replaces it with the kernel-mediated atomic system call, whose
+// execution count is identical in every replica. The rewrite scratches
+// R1/R2 (saved and restored around the call), so the pattern is rejected
+// when its registers collide with them. Call before Instrument and before
+// Assemble. It returns the number of loops rewritten.
+func RewriteAtomics(b *asm.Builder) int {
+	n := 0
+	b.RewriteWindows(4,
+		func(w []isa.Instr) bool {
+			ll, add, sc, bne := w[0], w[1], w[2], w[3]
+			if ll.Op != isa.OpLL || add.Op != isa.OpAddi ||
+				sc.Op != isa.OpSC || bne.Op != isa.OpBne {
+				return false
+			}
+			a, p, c := ll.Rd, ll.Rs1, sc.Rd
+			if add.Rd != a || add.Rs1 != a {
+				return false
+			}
+			if sc.Rs1 != p || sc.Rs2 != a {
+				return false
+			}
+			if bne.Rs1 != c && bne.Rs2 != c {
+				return false
+			}
+			// The rewrite scratches the syscall argument registers.
+			for _, r := range []uint8{a, p, c} {
+				if r == isa.RArg0 || r == isa.RArg1 {
+					return false
+				}
+			}
+			return true
+		},
+		func(w []isa.Instr) []isa.Instr {
+			n++
+			a, p := w[0].Rd, w[0].Rs1
+			delta := w[1].Imm
+			sp := uint8(isa.RSP)
+			return []isa.Instr{
+				// Save R1/R2.
+				{Op: isa.OpAddi, Rd: sp, Rs1: sp, Imm: -16},
+				{Op: isa.OpSt8, Rs1: sp, Rs2: isa.RArg0, Imm: 0},
+				{Op: isa.OpSt8, Rs1: sp, Rs2: isa.RArg1, Imm: 8},
+				// SysAtomicAdd(p, delta) -> old value in R1.
+				{Op: isa.OpAdd, Rd: isa.RArg0, Rs1: p, Rs2: isa.RZero},
+				{Op: isa.OpLi, Rd: isa.RArg1, Imm: delta},
+				{Op: isa.OpSyscall, Imm: 4}, // kernel.SysAtomicAdd
+				// a = old + delta, matching the original loop's result.
+				{Op: isa.OpAddi, Rd: a, Rs1: isa.RArg0, Imm: delta},
+				// Restore R1/R2.
+				{Op: isa.OpLd8, Rd: isa.RArg1, Rs1: sp, Imm: 8},
+				{Op: isa.OpLd8, Rd: isa.RArg0, Rs1: sp, Imm: 0},
+				{Op: isa.OpAddi, Rd: sp, Rs1: sp, Imm: 16},
+			}
+		},
+	)
+	return n
+}

@@ -1,0 +1,263 @@
+package compilerpass
+
+import (
+	"testing"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+	"rcoe/internal/machine"
+)
+
+// buildLoop builds a small counting loop with a function call, so both
+// jump and call instrumentation are exercised.
+func buildLoop() *asm.Builder {
+	b := asm.New()
+	b.Li(5, 0)
+	b.Li(6, 10)
+	b.Label("loop")
+	b.Call("bump")
+	b.Blt(5, 6, "loop")
+	b.Hlt()
+	b.Label("bump")
+	b.Addi(5, 5, 1)
+	b.Ret()
+	return b
+}
+
+func TestInstrumentPreservesSemantics(t *testing.T) {
+	plain := buildLoop().MustAssemble(0)
+	instr := buildLoop()
+	Instrument(instr)
+	iprog := instr.MustAssemble(0)
+
+	if len(iprog) <= len(plain) {
+		t.Fatalf("instrumentation added no instructions")
+	}
+	r1 := runProg(t, plain)
+	r2 := runProg(t, iprog)
+	if r1.Regs[5] != 10 || r2.Regs[5] != 10 {
+		t.Fatalf("loop results: plain=%d instrumented=%d, want 10", r1.Regs[5], r2.Regs[5])
+	}
+}
+
+func TestCounterMatchesExecutedBranches(t *testing.T) {
+	b := buildLoop()
+	Instrument(b)
+	prog := b.MustAssemble(0)
+	c := runProg(t, prog)
+	// The reserved register must equal the PMU's count of executed
+	// branches: the two counting mechanisms agree exactly.
+	if c.Regs[isa.RBC] != c.UserBranches {
+		t.Fatalf("RBC = %d, PMU = %d; counters disagree", c.Regs[isa.RBC], c.UserBranches)
+	}
+	// 10 iterations: each does call + ret + blt = 3 branches, minus
+	// nothing; plus the final fall-through blt still executes.
+	if c.Regs[isa.RBC] != 30 {
+		t.Fatalf("RBC = %d, want 30", c.Regs[isa.RBC])
+	}
+}
+
+func TestVerifyAcceptsInstrumented(t *testing.T) {
+	b := buildLoop()
+	Instrument(b)
+	prog := b.MustAssemble(0)
+	if err := Verify(prog); err != nil {
+		t.Fatalf("instrumented program rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsPlain(t *testing.T) {
+	prog := buildLoop().MustAssemble(0)
+	if err := Verify(prog); err == nil {
+		t.Fatalf("uninstrumented program accepted")
+	}
+}
+
+func TestBranchSites(t *testing.T) {
+	b := buildLoop()
+	Instrument(b)
+	prog := b.MustAssemble(kernel.TextVA)
+	sites := BranchSites(prog, kernel.TextVA)
+	n := 0
+	for i, ins := range prog {
+		if ins.Op.IsBranch() {
+			n++
+			if !sites[kernel.TextVA+uint64(i)*isa.InstrBytes] {
+				t.Fatalf("branch at index %d missing from sites", i)
+			}
+		}
+	}
+	if len(sites) != n {
+		t.Fatalf("sites = %d, branches = %d", len(sites), n)
+	}
+}
+
+func TestJumpToInstrumentedBranchCountsOnce(t *testing.T) {
+	// A label pointing directly at a branch must land on the increment,
+	// so the branch is counted exactly once per execution.
+	b := asm.New()
+	b.Li(5, 0)
+	b.J("target")
+	b.Hlt() // skipped
+	b.Label("target")
+	b.Beq(0, 0, "end") // branch that is itself a jump target
+	b.Label("end")
+	b.Hlt()
+	Instrument(b)
+	prog := b.MustAssemble(0)
+	c := runProg(t, prog)
+	if c.Regs[isa.RBC] != 2 {
+		t.Fatalf("RBC = %d, want 2 (j + beq)", c.Regs[isa.RBC])
+	}
+}
+
+func TestScanAtomics(t *testing.T) {
+	b := asm.New()
+	b.Li(1, 0x1000)
+	b.Label("retry")
+	b.LL(2, 1)
+	b.Addi(2, 2, 1)
+	b.SC(3, 1, 2)
+	b.Bne(3, 0, "retry")
+	b.Hlt()
+	prog := b.MustAssemble(0)
+	hits := ScanAtomics(prog)
+	if len(hits) != 2 {
+		t.Fatalf("found %d atomics, want 2 (ll + sc)", len(hits))
+	}
+	clean := buildLoop().MustAssemble(0)
+	if got := ScanAtomics(clean); len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+}
+
+// runProg executes a bare program on one core until it halts.
+func runProg(t *testing.T, prog []isa.Instr) *machine.Core {
+	t.Helper()
+	profile := machine.X86()
+	profile.JitterShift = 63
+	m := machine.New(profile, 1<<20)
+	if err := m.Mem().Write(0, isa.EncodeProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	halted := false
+	m.SetHandler(trapFunc(func(c *machine.Core, tr machine.Trap) {
+		halted = true
+		c.Halt()
+	}))
+	as := &machine.AddrSpace{Segs: []machine.Segment{{
+		VBase: 0, PBase: 0, Size: 1 << 20,
+		Perm: machine.PermR | machine.PermW | machine.PermX,
+	}}}
+	m.StartCore(0, 0, as)
+	if err := m.RunUntil(func() bool { return halted }, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m.Core(0)
+}
+
+type trapFunc func(*machine.Core, machine.Trap)
+
+func (f trapFunc) HandleTrap(c *machine.Core, t machine.Trap) { f(c, t) }
+
+// buildLLSCCounter builds a racy-free LL/SC increment loop program: the
+// canonical ldrex/strex retry pattern the rewriting tool targets.
+func buildLLSCCounter(iters int32) *asm.Builder {
+	b := asm.New()
+	b.Li(10, 0x1000) // counter address
+	b.Li(11, 0)      // i
+	b.Li(12, int32(iters))
+	b.Label("outer")
+	b.Label("retry")
+	b.LL(13, 10)
+	b.Addi(13, 13, 1)
+	b.SC(14, 10, 13)
+	b.Bne(14, 0, "retry")
+	b.Addi(11, 11, 1)
+	b.Blt(11, 12, "outer")
+	b.Hlt()
+	return b
+}
+
+func TestRewriteAtomicsReplacesRetryLoop(t *testing.T) {
+	b := buildLLSCCounter(10)
+	n := RewriteAtomics(b)
+	if n != 1 {
+		t.Fatalf("rewrote %d loops, want 1", n)
+	}
+	prog := b.MustAssemble(0)
+	if hits := ScanAtomics(prog); len(hits) != 0 {
+		t.Fatalf("raw atomics remain after rewrite: %v", hits)
+	}
+	var syscalls int
+	for _, ins := range prog {
+		if ins.Op == isa.OpSyscall && ins.Imm == 4 {
+			syscalls++
+		}
+	}
+	if syscalls != 1 {
+		t.Fatalf("atomic syscall count = %d", syscalls)
+	}
+}
+
+func TestRewriteAtomicsSemantics(t *testing.T) {
+	// Execute the rewritten program with a handler implementing
+	// SysAtomicAdd and verify the counter and the loop register.
+	b := buildLLSCCounter(7)
+	if n := RewriteAtomics(b); n != 1 {
+		t.Fatalf("rewrite count")
+	}
+	prog := b.MustAssemble(0)
+	profile := machine.X86()
+	profile.JitterShift = 63
+	m := machine.New(profile, 1<<20)
+	if err := m.Mem().Write(0, isa.EncodeProgram(prog)); err != nil {
+		t.Fatal(err)
+	}
+	halted := false
+	m.SetHandler(trapFunc(func(c *machine.Core, tr machine.Trap) {
+		switch {
+		case tr.Kind == machine.TrapSyscall && tr.Num == 4:
+			addr, delta := c.Regs[isa.RArg0], c.Regs[isa.RArg1]
+			old, _ := m.Mem().ReadU(addr, 8)
+			_ = m.Mem().WriteU(addr, 8, old+delta)
+			c.Regs[isa.RArg0] = old
+		default:
+			halted = true
+			c.Halt()
+		}
+	}))
+	as := &machine.AddrSpace{Segs: []machine.Segment{{
+		VBase: 0, PBase: 0, Size: 1 << 20,
+		Perm: machine.PermR | machine.PermW | machine.PermX,
+	}}}
+	m.StartCore(0, 0, as)
+	c := m.Core(0)
+	c.Regs[isa.RSP] = 0x8000
+	if err := m.RunUntil(func() bool { return halted }, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Mem().ReadU(0x1000, 8)
+	if v != 7 {
+		t.Fatalf("counter = %d, want 7", v)
+	}
+	// The value register must hold the final incremented value, as the
+	// original LL/SC loop would have left it.
+	if c.Regs[13] != 7 {
+		t.Fatalf("value register = %d, want 7", c.Regs[13])
+	}
+}
+
+func TestRewriteAtomicsSkipsCollidingRegisters(t *testing.T) {
+	b := asm.New()
+	b.Label("retry")
+	b.LL(1, 10) // uses R1: must be left alone
+	b.Addi(1, 1, 1)
+	b.SC(14, 10, 1)
+	b.Bne(14, 0, "retry")
+	b.Hlt()
+	if n := RewriteAtomics(b); n != 0 {
+		t.Fatalf("rewrote a colliding pattern")
+	}
+}

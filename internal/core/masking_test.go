@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/compilerpass"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+	"rcoe/internal/machine"
+)
+
+// newSysCCArm builds a CC system on the arm profile with a properly
+// instrumented syscall-loop program.
+func newSysCCArm(t *testing.T, cfg Config, n int64) *System {
+	t.Helper()
+	b := asm.New()
+	b.Li(5, 0)
+	b.Li64(6, uint64(n))
+	b.Label("loop")
+	b.Syscall(kernel.SysNull)
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "loop")
+	b.Li(1, 0)
+	b.Syscall(kernel.SysExit)
+	compilerpass.Instrument(b)
+	prog, err := b.Assemble(kernel.TextVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BranchSites = compilerpass.BranchSites(prog, kernel.TextVA)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Load(kernel.ProcessConfig{Prog: prog, DataBytes: 1 << 16}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCCMaskingHaltsOnArmPrimary(t *testing.T) {
+	// CC error masking needs a spare page-table bit to patch DMA
+	// mappings; the Arm profile has none (§IV-A), so removing a faulty
+	// CC primary must fail-stop instead of downgrading.
+	sys := newSysCCArm(t, Config{Mode: ModeCC, Replicas: 3, TickCycles: 20000,
+		Masking: true, Profile: machine.Arm()}, 10000)
+	sys.RunCycles(50_000)
+	lay := sys.Replica(0).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+		t.Fatal(err)
+	}
+	err := sys.Run(200_000_000)
+	if err == nil {
+		t.Fatalf("CC masking on Arm should have halted")
+	}
+	_, reason := sys.Halted()
+	if !strings.Contains(reason, "spare PTE bit") {
+		t.Fatalf("halt reason = %q", reason)
+	}
+}
+
+func TestCCMaskingWorksOnArmNonPrimary(t *testing.T) {
+	// Removing a non-primary replica does not touch DMA mappings, so it
+	// works even without the spare bit.
+	sys := newSysCCArm(t, Config{Mode: ModeCC, Replicas: 3, TickCycles: 20000,
+		Masking: true, Profile: machine.Arm()}, 5000)
+	sys.RunCycles(50_000)
+	lay := sys.Replica(2).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+		t.Fatal(err)
+	}
+	mustFinish(t, sys, 600_000_000)
+	if sys.Alive(2) || sys.AliveCount() != 2 {
+		t.Fatalf("replica 2 not removed (alive=%d)", sys.AliveCount())
+	}
+}
+
+func TestTMRWithoutMaskingHalts(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000},
+		syscallLoop(t, 10000))
+	sys.RunCycles(50_000)
+	lay := sys.Replica(1).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(200_000_000); err == nil {
+		t.Fatalf("TMR without masking should halt on mismatch")
+	}
+	if sys.AliveCount() != 3 {
+		t.Fatalf("no downgrade should have happened")
+	}
+}
+
+func TestVoteInconclusiveHalts(t *testing.T) {
+	// Corrupt two replicas differently: no consensus on the faulter
+	// (Listing 5's ERROR_DIFF_FAULT_REPLICA) and the system fail-stops.
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+		Masking: true}, syscallLoop(t, 10000))
+	sys.RunCycles(50_000)
+	for rid := 0; rid < 2; rid++ {
+		lay := sys.Replica(rid).K.Layout()
+		if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, uint(3+rid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Run(200_000_000); err == nil {
+		t.Fatalf("inconclusive vote should halt")
+	}
+	var inconclusive bool
+	for _, d := range sys.Detections() {
+		if d.Kind == DetectVoteInconclusive {
+			inconclusive = true
+		}
+	}
+	if !inconclusive {
+		t.Fatalf("no inconclusive-vote detection: %v", sys.Detections())
+	}
+}
+
+func TestUserFaultDetectedViaSignature(t *testing.T) {
+	// Corrupt replica 1's user text so it takes an exception the other
+	// replica does not: the fault fingerprint folded into the signature
+	// diverges the next vote.
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000},
+		cpuLoop(t, 3_000_000))
+	sys.RunCycles(60_000)
+	// Overwrite the loop body with an illegal opcode in replica 1 only.
+	lay := sys.Replica(1).K.Layout()
+	if err := sys.Machine().Mem().Write(lay.UserPA()+2*8, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(400_000_000); err == nil {
+		t.Fatalf("diverging user fault should be detected")
+	}
+	if sys.Replica(1).UserFaults == 0 {
+		t.Fatalf("replica 1 never faulted")
+	}
+	if len(sys.Detections()) == 0 {
+		t.Fatalf("no detections recorded")
+	}
+}
+
+func TestExceptionBarriersForceEarlySync(t *testing.T) {
+	// Two threads: a worker that loops forever-ish and a main loop whose
+	// text we corrupt in one replica. Without exception barriers, the
+	// divergence is caught only at the next (slow) timer tick; with them,
+	// the faulting replica forces a synchronisation immediately.
+	build := func() []isa.Instr {
+		b := asm.New()
+		b.LiLabel(1, "worker")
+		b.Li64(2, kernel.StackTopVA-kernel.StackSize)
+		b.Li(3, 0)
+		b.Syscall(kernel.SysSpawn)
+		b.Label("main_loop") // this region gets corrupted in replica 1
+		b.Nop()
+		b.Nop()
+		b.J("main_loop")
+		b.Label("worker")
+		b.Li(5, 0)
+		b.Li64(6, 100_000_000)
+		b.Label("wloop")
+		b.Addi(5, 5, 1)
+		b.Blt(5, 6, "wloop")
+		b.Li(1, 0)
+		b.Syscall(kernel.SysExit)
+		return b.MustAssemble(kernel.TextVA)
+	}
+	detectCycle := func(barriers bool) uint64 {
+		sys, err := NewSystem(Config{Mode: ModeLC, Replicas: 2,
+			TickCycles: 400_000, ExceptionBarriers: barriers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Load(kernel.ProcessConfig{Prog: build(), DataBytes: 1 << 14, Stacks: 2}); err != nil {
+			t.Fatal(err)
+		}
+		sys.RunCycles(30_000)
+		// Corrupt the main loop's first nop in replica 1 only.
+		lay := sys.Replica(1).K.Layout()
+		if err := sys.Machine().Mem().Write(lay.UserPA()+4*8, []byte{0xEE}); err != nil {
+			t.Fatal(err)
+		}
+		_ = sys.Run(600_000_000)
+		for _, d := range sys.Detections() {
+			if d.Kind != DetectUserFault {
+				return d.Cycle
+			}
+		}
+		t.Fatalf("no system-level detection (barriers=%v): %v", barriers, sys.Detections())
+		return 0
+	}
+	with := detectCycle(true)
+	without := detectCycle(false)
+	if with >= without {
+		t.Fatalf("exception barriers should detect earlier: with=%d without=%d", with, without)
+	}
+}
+
+func TestDowngradedSystemSurvivesSecondRun(t *testing.T) {
+	// After masking, the DMR remnant must still synchronise and finish.
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+		Sig: SigArgs, Masking: true}, syscallLoop(t, 20000))
+	sys.RunCycles(50_000)
+	lay := sys.Replica(1).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+		t.Fatal(err)
+	}
+	mustFinish(t, sys, 800_000_000)
+	if !sys.Finished() {
+		t.Fatalf("DMR remnant did not finish")
+	}
+	if sys.Stats().Syncs == 0 {
+		t.Fatalf("no syncs after downgrade")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+	"rcoe/internal/machine"
+)
+
+// Property: logical-time ordering is a strict weak order consistent with
+// equality — the foundation of leader election.
+func TestQuickLogicalTimeOrdering(t *testing.T) {
+	mk := func(e, b, ip, rem uint64) logicalTime {
+		return logicalTime{Events: e % 8, Branches: b % 8, IP: ip % 8, BlockRem: rem % 4}
+	}
+	irreflexive := func(e, b, ip, rem uint64) bool {
+		x := mk(e, b, ip, rem)
+		return !x.less(x)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Fatalf("irreflexivity: %v", err)
+	}
+	antisym := func(e1, b1, i1, r1, e2, b2, i2, r2 uint64) bool {
+		x, y := mk(e1, b1, i1, r1), mk(e2, b2, i2, r2)
+		if x.less(y) && y.less(x) {
+			return false
+		}
+		// Totality: exactly one of <, >, == holds.
+		n := 0
+		if x.less(y) {
+			n++
+		}
+		if y.less(x) {
+			n++
+		}
+		if x.equal(y) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Fatalf("antisymmetry/totality: %v", err)
+	}
+	trans := func(a1, a2, a3, a4, b1, b2, b3, b4, c1, c2, c3, c4 uint64) bool {
+		x, y, z := mk(a1, a2, a3, a4), mk(b1, b2, b3, b4), mk(c1, c2, c3, c4)
+		if x.less(y) && y.less(z) {
+			return x.less(z)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Fatalf("transitivity: %v", err)
+	}
+}
+
+// Property: with exactly one divergent checksum among N >= 3 replicas,
+// the fault vote always reaches consensus on that replica.
+func TestQuickVoteIdentifiesSingleFault(t *testing.T) {
+	prof := machine.X86()
+	prof.Cores = 8
+	f := func(n8, faulty8 uint8, good, bad uint64) bool {
+		n := 3 + int(n8%6) // 3..8 replicas
+		faulty := int(faulty8) % n
+		if good == bad {
+			bad = good + 1
+		}
+		sums := make([]uint64, n)
+		for i := range sums {
+			sums[i] = good
+		}
+		sums[faulty] = bad
+		got, ok := VoteDemo(sums)
+		return ok && got == faulty
+	}
+	cfg := &quick.Config{MaxCount: 30} // each trial builds a machine
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with two or more divergent checksums (all distinct), the vote
+// never falsely blames a healthy replica — it either reaches no consensus
+// or picks one of the corrupted ones.
+func TestQuickVoteNeverBlamesHealthy(t *testing.T) {
+	f := func(f1, f2 uint8, good uint64) bool {
+		n := 5
+		a, b := int(f1)%n, int(f2)%n
+		if a == b {
+			b = (a + 1) % n
+		}
+		sums := make([]uint64, n)
+		for i := range sums {
+			sums[i] = good
+		}
+		sums[a], sums[b] = good+1, good+2
+		got, ok := VoteDemo(sums)
+		if !ok {
+			return true // no consensus: fail-stop, safe
+		}
+		return got == a || got == b
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fault-free DMR runs of the same deterministic program always
+// finish with identical replica signatures, for arbitrary tick phases.
+func TestQuickFaultFreeSignaturesAgree(t *testing.T) {
+	f := func(tickSeed uint16) bool {
+		tick := 8_000 + uint64(tickSeed)%40_000
+		sys, err := NewSystem(Config{Mode: ModeLC, Replicas: 2, TickCycles: tick})
+		if err != nil {
+			return false
+		}
+		b := buildSyscallLoop(300)
+		if err := loadAndStart(sys, b); err != nil {
+			return false
+		}
+		if err := sys.Run(200_000_000); err != nil {
+			return false
+		}
+		e0, s0 := sys.Replica(0).K.Signature()
+		e1, s1 := sys.Replica(1).K.Signature()
+		return e0 == e1 && s0 == s1
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildSyscallLoop and loadAndStart are helpers for property tests that
+// need complete systems without the *testing.T plumbing of system_test.go.
+func buildSyscallLoop(n int64) []isa.Instr {
+	b := asm.New()
+	b.Li(5, 0)
+	b.Li64(6, uint64(n))
+	b.Label("loop")
+	b.Syscall(15) // SysNull
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "loop")
+	b.Li(1, 0)
+	b.Syscall(1) // SysExit
+	return b.MustAssemble(kernel.TextVA)
+}
+
+func loadAndStart(sys *System, prog []isa.Instr) error {
+	return sys.Load(kernel.ProcessConfig{Prog: prog, DataBytes: 1 << 14})
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+)
+
+// downgradeThen builds a masking TMR system running a syscall loop,
+// corrupts replica `faulty`, and runs until the downgrade completes.
+func downgradeThen(t *testing.T, faulty int, loops int64) *System {
+	t.Helper()
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+		Sig: SigArgs, Masking: true}, syscallLoop(t, loops))
+	sys.RunCycles(50_000)
+	lay := sys.Replica(faulty).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Machine().RunUntil(func() bool {
+		return sys.AliveCount() == 2 || sys.halted
+	}, 400_000_000); err != nil {
+		t.Fatalf("downgrade never happened: %v", err)
+	}
+	if sys.halted {
+		t.Fatalf("system halted instead of masking: %s", sys.haltReason)
+	}
+	return sys
+}
+
+func TestReintegrateRestoresTMR(t *testing.T) {
+	sys := downgradeThen(t, 2, 60_000)
+	if err := sys.Reintegrate(2); err != nil {
+		t.Fatalf("reintegrate: %v", err)
+	}
+	if sys.AliveCount() != 3 || !sys.Alive(2) {
+		t.Fatalf("alive = %d after reintegration", sys.AliveCount())
+	}
+	if sys.Stats().Reintegrations != 1 {
+		t.Fatalf("reintegration not counted")
+	}
+	// The restored TMR must run to completion, synchronising and voting
+	// with three replicas again — with no divergence from the newcomer.
+	mustFinish(t, sys, 2_000_000_000)
+	for rid := 0; rid < 3; rid++ {
+		if got := sys.Replica(rid).K.Thread(0).ExitCode; got != 0 {
+			t.Fatalf("replica %d exit = %d", rid, got)
+		}
+	}
+	if len(sys.Detections()) != 1 {
+		t.Fatalf("unexpected detections after reintegration: %v", sys.Detections())
+	}
+}
+
+func TestReintegrateThenMaskAgain(t *testing.T) {
+	// The whole point of re-integration: the restored TMR can mask a
+	// second, later fault.
+	sys := downgradeThen(t, 2, 120_000)
+	if err := sys.Reintegrate(2); err != nil {
+		t.Fatalf("reintegrate: %v", err)
+	}
+	sys.RunCycles(100_000)
+	if halted, reason := sys.Halted(); halted {
+		t.Fatalf("halted after reintegration: %s", reason)
+	}
+	// Corrupt a different replica this time.
+	lay := sys.Replica(1).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 7); err != nil {
+		t.Fatal(err)
+	}
+	mustFinish(t, sys, 2_000_000_000)
+	if sys.Alive(1) || sys.AliveCount() != 2 {
+		t.Fatalf("second fault not masked (alive=%d)", sys.AliveCount())
+	}
+	masked := 0
+	for _, d := range sys.Detections() {
+		if d.Masked {
+			masked++
+		}
+	}
+	if masked != 2 {
+		t.Fatalf("masked detections = %d, want 2", masked)
+	}
+}
+
+func TestReintegrateValidation(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000},
+		syscallLoop(t, 50_000))
+	if err := sys.Reintegrate(0); err == nil {
+		t.Fatalf("reintegrating an alive replica should fail")
+	}
+	if err := sys.Reintegrate(7); err == nil {
+		t.Fatalf("reintegrating a nonexistent replica should fail")
+	}
+}
+
+func TestReintegrateNeedsNonPrimaryDonor(t *testing.T) {
+	// After removing a non-primary from DMR... masking requires TMR, so
+	// construct the no-donor case directly: offline replica 1 of a DMR
+	// system, leaving only the primary.
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000},
+		syscallLoop(t, 50_000))
+	sys.RunCycles(30_000)
+	sys.sh.removeAlive(1)
+	sys.Replica(1).Core().SetOffline()
+	if err := sys.Reintegrate(1); err == nil {
+		t.Fatalf("reintegration without a non-primary donor should fail")
+	}
+}

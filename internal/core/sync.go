@@ -1,0 +1,544 @@
+package core
+
+import "fmt"
+
+// syncPending reports whether a synchronisation generation is open.
+func (s *System) syncPending() bool { return s.sh.word(wSyncGen) != 0 }
+
+// arriveGen returns the generation a replica last arrived at.
+func (s *System) arriveGen(r *Replica) uint64 { return s.sh.repWord(r.ID, rwArriveGen) }
+
+// released reports whether the replica has already been released from the
+// currently open generation (it must not re-enter it).
+func (s *System) released(r *Replica) bool {
+	return s.releasedSet&(1<<uint(r.ID)) != 0
+}
+
+// aliveIDs returns the alive replica IDs in ascending order.
+func (s *System) aliveIDs() []int {
+	ids := make([]int, 0, len(s.reps))
+	for rid := range s.reps {
+		if s.sh.alive(rid) {
+			ids = append(ids, rid)
+		}
+	}
+	return ids
+}
+
+// requestSync opens a synchronisation generation (or merges into the open
+// one) and kicks the other replicas with IPIs. kind is a bitmask of
+// syncIRQ/syncFinal; lines is the pending device-interrupt mask.
+func (s *System) requestSync(requester int, kind, lines uint64) {
+	if s.sh.word(wSyncGen) != 0 {
+		s.sh.setWord(wSyncKind, s.sh.word(wSyncKind)|kind)
+		s.sh.setWord(wSyncLines, s.sh.word(wSyncLines)|lines)
+		return
+	}
+	s.syncCounter++
+	s.releasedSet = 0
+	s.sh.setWord(wReleaseGen, 0)
+	s.sh.setWord(wVoteOutcome, 0)
+	s.sh.setWord(wSyncKind, kind)
+	s.sh.setWord(wSyncLines, lines)
+	s.sh.setWord(wSyncGen, s.syncCounter)
+	for _, rid := range s.aliveIDs() {
+		if rid != requester {
+			s.m.SendIPI(rid)
+		}
+	}
+}
+
+// maxAliveTime returns the largest published logical time among alive
+// replicas (published times are refreshed on every kernel entry, so they
+// are safe lower bounds for the catch-up decision).
+func (s *System) maxAliveTime() logicalTime {
+	var maxT logicalTime
+	first := true
+	for _, rid := range s.aliveIDs() {
+		t := s.sh.readTime(rid)
+		if first || maxT.less(t) {
+			maxT = t
+			first = false
+		}
+	}
+	return maxT
+}
+
+// allArrivedEqual reports whether every alive replica is parked at gen
+// with identical logical times — the rendezvous completion condition.
+// Requiring the parked flag (not just an arrival) prevents completing on
+// a transient time published by a replica still mid-catch-up.
+func (s *System) allArrivedEqual(gen uint64) bool {
+	var ref logicalTime
+	first := true
+	for _, rid := range s.aliveIDs() {
+		if s.sh.repWord(rid, rwArriveGen) != gen {
+			return false
+		}
+		if s.sh.repWord(rid, rwParkedGen) != gen {
+			return false
+		}
+		t := s.sh.readTime(rid)
+		if first {
+			ref = t
+			first = false
+		} else if !ref.equal(t) {
+			return false
+		}
+	}
+	return !first
+}
+
+// enterRendezvous is called at a kernel entry while a synchronisation is
+// pending: the replica publishes its logical time and either parks (it is
+// the leader or level) or resumes execution to catch up (§III-C).
+func (s *System) enterRendezvous(r *Replica) {
+	gen := s.sh.word(wSyncGen)
+	if gen == 0 {
+		s.afterKernel(r)
+		return
+	}
+	lt := s.timeOf(r)
+	s.sh.publishTime(r.ID, lt)
+	s.sh.setRepWord(r.ID, rwArriveGen, gen)
+	s.publishSignature(r)
+	if debugArrive != nil {
+		debugArrive(r.ID, gen, lt, s.m.Now(), r.Core().Regs[5]<<32|r.Core().Regs[27])
+	}
+	maxT := s.maxAliveTime()
+	if lt.less(maxT) && s.canAdvance(r) {
+		s.catchUp(r, maxT)
+		return
+	}
+	s.parkAtRendezvous(r, gen)
+}
+
+// canAdvance reports whether the replica can make user-level progress (it
+// has a runnable thread and has not finished).
+func (s *System) canAdvance(r *Replica) bool {
+	return !r.finished && r.K.CurrentTID() >= 0
+}
+
+// publishSignature copies the replica's (event count, checksum) into its
+// shared block for voting.
+func (s *System) publishSignature(r *Replica) {
+	ev, sum := r.K.Signature()
+	s.sh.setRepWord(r.ID, rwSigEvents, ev)
+	s.sh.setRepWord(r.ID, rwChecksum, sum)
+}
+
+// catchUp resumes a trailing replica. Under LC it simply continues until
+// its event count matches; under CC, when it is level on events, it arms
+// a global instruction breakpoint at the leader's instruction pointer and
+// chases (§III-C).
+func (s *System) catchUp(r *Replica, target logicalTime) {
+	if s.cfg.Mode == ModeCC && target.Events == s.sh.repWord(r.ID, rwEvents) &&
+		target.IP != ^uint64(0) {
+		r.chasing = true
+		r.chaseTarget = target
+		c := r.Core()
+		my := s.timeOf(r).Branches
+		// Large deficits are covered with a PMU overflow interrupt —
+		// free-running until just short of the leader — and only the tail
+		// uses per-iteration breakpoints. Without this, a breakpoint in a
+		// tight loop costs a debug exception per iteration for the whole
+		// distance (§VI's planned ReVirt-style optimisation).
+		const coarseTail = 8
+		if target.Branches > my && target.Branches-my > 2*coarseTail {
+			c.BranchWatch.Target = c.UserBranches + (target.Branches - my) - coarseTail
+			c.BranchWatch.Enabled = true
+			c.BP.Enabled = false
+			c.ResumeOnce = false
+			return
+		}
+		c.BP.Addr = target.IP
+		c.BP.Enabled = true
+		c.ResumeOnce = false
+	}
+	// Returning resumes user execution; the replica re-enters through its
+	// next kernel entry (breakpoint, syscall, or IPI).
+}
+
+// clearChase disarms the catch-up breakpoint and branch watch.
+func (s *System) clearChase(r *Replica) {
+	r.chasing = false
+	c := r.Core()
+	c.BP.Enabled = false
+	c.SingleStep = false
+	c.ResumeOnce = false
+	c.BranchWatch.Enabled = false
+}
+
+// parkAtRendezvous spins the replica on the kernel barrier until all
+// replicas are level, someone overtakes it, the vote releases it, or the
+// spin budget expires (straggler detection).
+func (s *System) parkAtRendezvous(r *Replica, gen uint64) {
+	s.clearChase(r)
+	s.sh.setRepWord(r.ID, rwParkedGen, gen)
+	c := r.Core()
+	r.barrierStart = c.Cycles
+	c.Park(func() bool {
+		if s.halted {
+			return true
+		}
+		if s.sh.word(wReleaseGen) == gen {
+			return true
+		}
+		if s.canAdvance(r) {
+			myT := s.sh.readTime(r.ID)
+			if myT.less(s.maxAliveTime()) {
+				return true // overtaken: resume and catch up
+			}
+		}
+		if s.allArrivedEqual(gen) {
+			s.completeRendezvous(gen)
+			return true
+		}
+		return c.Cycles-r.barrierStart > s.cfg.BarrierTimeout
+	}, func() {
+		switch {
+		case s.halted:
+			c.Halt()
+		case s.sh.word(wReleaseGen) == gen:
+			s.releaseFromRendezvous(r, gen)
+		case s.canAdvance(r) && s.sh.readTime(r.ID).less(s.maxAliveTime()):
+			s.sh.setRepWord(r.ID, rwParkedGen, 0)
+			s.catchUp(r, s.maxAliveTime())
+		default:
+			s.barrierTimeout(r, gen)
+		}
+	})
+}
+
+// completeRendezvous runs when the last replica levels up: it votes on
+// the published signatures and releases the barrier. On a failed vote it
+// runs the fault-voting algorithm and downgrades or halts (§IV).
+func (s *System) completeRendezvous(gen uint64) {
+	s.stats.Syncs++
+	if !s.compareSignatures() {
+		s.handleVoteFailure()
+		if s.halted {
+			return
+		}
+	}
+	// Successful (or masked) vote: mark completion of a finished workload.
+	if s.sh.word(wSyncKind)&syncFinal != 0 && s.allAliveFinished() {
+		s.finished = true
+	}
+	s.sh.setWord(wReleaseGen, gen)
+}
+
+func (s *System) allAliveFinished() bool {
+	for _, rid := range s.aliveIDs() {
+		if s.sh.repWord(rid, rwDoneFlag) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compareSignatures reports whether all alive replicas published equal
+// (event count, checksum) signatures.
+func (s *System) compareSignatures() bool {
+	s.stats.Votes++
+	ids := s.aliveIDs()
+	for _, rid := range ids {
+		s.reps[rid].Core().AddStall(20 * len(ids)) // redundant comparison cost
+	}
+	refEv := s.sh.repWord(ids[0], rwSigEvents)
+	refSum := s.sh.repWord(ids[0], rwChecksum)
+	for _, rid := range ids[1:] {
+		if s.sh.repWord(rid, rwSigEvents) != refEv || s.sh.repWord(rid, rwChecksum) != refSum {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseFromRendezvous finishes one replica's participation: apply the
+// vote outcome, deliver the synchronised interrupts to the local kernel,
+// reset the branch clock, and clean up when last out.
+func (s *System) releaseFromRendezvous(r *Replica, gen uint64) {
+	outcome := s.sh.word(wVoteOutcome)
+	if outcome != 0 && outcome != ^uint64(0) {
+		faulty := int(outcome - 1)
+		if faulty == r.ID {
+			// "The faulty replica removes itself while the others wait."
+			r.Core().SetOffline()
+			s.markReleased(r, gen)
+			return
+		}
+	}
+	kind := s.sh.word(wSyncKind)
+	lines := s.sh.word(wSyncLines)
+	if kind&syncIRQ != 0 {
+		if s.cfg.VM {
+			r.Core().AddStall(s.cfg.Profile.Costs.VMExit)
+			s.stats.VMExits++
+		}
+		s.deliverLines(r, lines)
+	}
+	s.resetBranchClock(r)
+	// Republish the post-reset logical time: stale pre-reset values would
+	// look "ahead" to peers and send them chasing ghosts.
+	s.sh.publishTime(r.ID, s.timeOf(r))
+	if debugRelease != nil {
+		c := r.Core()
+		debugRelease(r.ID, gen, c.PC, c.Regs[5], c.Regs[27], s.m.Now())
+	}
+	r.Core().AddStall(60) // protocol bookkeeping cost per replica
+	s.markReleased(r, gen)
+	if r.finished {
+		s.finishedPark(r)
+		return
+	}
+	s.afterKernel(r)
+}
+
+// markReleased tracks barrier egress; the last replica out clears the
+// synchronisation words.
+func (s *System) markReleased(r *Replica, gen uint64) {
+	s.releasedSet |= 1 << uint(r.ID)
+	alive := s.sh.word(wAliveMask)
+	if s.releasedSet&alive == alive && s.sh.word(wReleaseGen) == gen {
+		s.sh.setWord(wSyncGen, 0)
+		s.sh.setWord(wSyncKind, 0)
+		s.sh.setWord(wSyncLines, 0)
+		s.sh.setWord(wReleaseGen, 0)
+		s.sh.setWord(wVoteOutcome, 0)
+	}
+}
+
+// finishedPark parks a completed replica; it still answers IPIs so that
+// later synchronisations (other replicas finishing, faults) can include
+// it.
+func (s *System) finishedPark(r *Replica) {
+	c := r.Core()
+	c.Park(func() bool {
+		if s.halted || s.finished {
+			return true
+		}
+		return s.syncPending() && !s.released(r)
+	}, func() {
+		if s.halted || s.finished {
+			c.Halt()
+			return
+		}
+		s.enterRendezvous(r)
+	})
+}
+
+// barrierTimeout fires when a replica exhausted its spin budget waiting
+// for stragglers: divergence is detected but (per §IV-A) not recoverable,
+// so the system fail-stops.
+func (s *System) barrierTimeout(r *Replica, gen uint64) {
+	straggler := -1
+	for _, rid := range s.aliveIDs() {
+		if s.sh.repWord(rid, rwArriveGen) != gen {
+			straggler = rid
+			break
+		}
+	}
+	s.record(DetectBarrierTimeout, straggler, false)
+	s.halt(fmt.Sprintf("barrier timeout waiting for replica %d (gen %d)", straggler, gen))
+}
+
+// debugChase, when set, observes every catch-up comparison (tests only).
+var debugChase func(rid int, lt, target logicalTime)
+
+// debugArrive, when set, observes every rendezvous arrival (tests only).
+var debugArrive func(rid int, gen uint64, lt logicalTime, now, cycles uint64)
+
+// debugStale, when set, observes dropped debug exceptions (tests only).
+var debugStale func(what string, rid int, now uint64)
+
+// debugRelease, when set, observes rendezvous releases (tests only).
+var debugRelease func(rid int, gen, pc, r5, rbc, now uint64)
+
+// onBreakpoint services the catch-up breakpoint: compare the precise
+// logical clocks and either join the rendezvous, step over the breakpoint
+// and keep chasing, or (if somehow ahead) park and let the others chase.
+func (s *System) onBreakpoint(r *Replica) {
+	r.DebugExceptions++
+	c := r.Core()
+	c.AddStall(s.cfg.Profile.Costs.DebugException)
+	if s.cfg.VM {
+		c.AddStall(s.cfg.Profile.Costs.VMExit)
+		s.stats.VMExits++
+	}
+	if !r.chasing {
+		if debugStale != nil {
+			debugStale("stale-bp", r.ID, s.m.Now())
+		}
+		// Stale breakpoint (e.g. chase abandoned): disarm and continue.
+		s.clearChase(r)
+		s.afterKernel(r)
+		return
+	}
+	lt := s.timeOf(r)
+	s.sh.publishTime(r.ID, lt)
+	target := s.maxAliveTime()
+	if debugChase != nil {
+		debugChase(r.ID, lt, target)
+	}
+	switch {
+	case lt.equal(target):
+		s.clearChase(r)
+		gen := s.sh.word(wSyncGen)
+		if gen == 0 {
+			s.afterKernel(r)
+			return
+		}
+		s.sh.setRepWord(r.ID, rwArriveGen, gen)
+		s.publishSignature(r)
+		s.parkAtRendezvous(r, gen)
+	case lt.less(target):
+		// Still behind: step over the breakpoint. With a resume flag
+		// this is one debug exception; without one (Arm) the kernel must
+		// disable the breakpoint and single-step, paying a second
+		// "mismatch" exception (§III-D).
+		if s.cfg.Profile.HasResumeFlag {
+			c.ResumeOnce = true
+		} else {
+			c.BP.Enabled = false
+			c.SingleStep = true
+		}
+	default:
+		// Overshot the leader: publish (done above) and park; the
+		// others will now chase us. Divergence surfaces as a timeout.
+		s.clearChase(r)
+		gen := s.sh.word(wSyncGen)
+		if gen == 0 {
+			s.afterKernel(r)
+			return
+		}
+		s.sh.setRepWord(r.ID, rwArriveGen, gen)
+		s.publishSignature(r)
+		s.parkAtRendezvous(r, gen)
+	}
+}
+
+// onBranchWatch handles the PMU overflow interrupt that ends the coarse
+// catch-up phase: the replica is now within a few branches of the leader
+// and re-enters the rendezvous, which arms the precise breakpoint for the
+// remaining distance.
+func (s *System) onBranchWatch(r *Replica) {
+	c := r.Core()
+	c.AddStall(s.cfg.Profile.Costs.IRQDeliver)
+	if s.cfg.VM {
+		c.AddStall(s.cfg.Profile.Costs.VMExit)
+		s.stats.VMExits++
+	}
+	if !r.chasing || !s.syncPending() {
+		s.clearChase(r)
+		s.afterKernel(r)
+		return
+	}
+	s.enterRendezvous(r)
+}
+
+// onSingleStep is the second half of the no-resume-flag protocol: the
+// instruction under the breakpoint has executed; re-arm and continue.
+func (s *System) onSingleStep(r *Replica) {
+	r.DebugExceptions++
+	c := r.Core()
+	c.AddStall(s.cfg.Profile.Costs.DebugException)
+	if s.cfg.VM {
+		c.AddStall(s.cfg.Profile.Costs.VMExit)
+		s.stats.VMExits++
+	}
+	if r.chasing {
+		c.BP.Addr = r.chaseTarget.IP
+		c.BP.Enabled = true
+	} else if debugStale != nil {
+		debugStale("sstep-nochase", r.ID, s.m.Now())
+	}
+}
+
+// eventBarrier synchronises all alive replicas at a specific event number
+// (per-syscall votes under SigSync and the FT_Mem_* driver calls, which
+// "only perform operations when all replicas are in sync"). action runs
+// exactly once at completion (device-side work); cont runs on every
+// replica after release.
+func (s *System) eventBarrier(r *Replica, ev uint64, action func(), cont func()) {
+	// Publish the post-bump logical time: replicas parked at an open
+	// rendezvous must see this replica as "ahead" so they resume and
+	// catch up to this event instead of timing out.
+	s.sh.publishTime(r.ID, s.timeOf(r))
+	s.sh.setRepWord(r.ID, rwVoteEvent, ev)
+	_, sum := r.K.Signature()
+	s.sh.setRepWord(r.ID, rwVoteSum, sum)
+	c := r.Core()
+	r.barrierStart = c.Cycles
+	c.Park(func() bool {
+		if s.halted {
+			return true
+		}
+		if s.sh.word(wVoteRelease) >= ev {
+			return true
+		}
+		if s.allVotedAt(ev) {
+			s.completeEventBarrier(ev, action)
+			return true
+		}
+		return c.Cycles-r.barrierStart > s.cfg.BarrierTimeout
+	}, func() {
+		switch {
+		case s.halted:
+			c.Halt()
+		case s.sh.word(wVoteRelease) >= ev:
+			outcome := s.sh.word(wVoteOutcome)
+			if outcome != 0 && outcome != ^uint64(0) && int(outcome-1) == r.ID {
+				c.SetOffline()
+				return
+			}
+			c.AddStall(40) // barrier bookkeeping
+			cont()
+		default:
+			s.barrierTimeout(r, 0)
+		}
+	})
+}
+
+// allVotedAt reports whether every alive replica has arrived at event ev
+// (or later) of the per-syscall vote sequence.
+func (s *System) allVotedAt(ev uint64) bool {
+	for _, rid := range s.aliveIDs() {
+		if s.sh.repWord(rid, rwVoteEvent) < ev {
+			return false
+		}
+	}
+	return true
+}
+
+// completeEventBarrier compares the published vote checksums, handles a
+// failed vote, runs the device-side action, and releases the barrier.
+func (s *System) completeEventBarrier(ev uint64, action func()) {
+	s.stats.Votes++
+	ids := s.aliveIDs()
+	ref := s.sh.repWord(ids[0], rwVoteSum)
+	equal := true
+	for _, rid := range ids[1:] {
+		if s.sh.repWord(rid, rwVoteSum) != ref {
+			equal = false
+			break
+		}
+	}
+	if !equal {
+		// The fault-vote algorithm operates on the published comparison
+		// values: copy the per-syscall vote sums into the checksum array
+		// Listing 5 reads, so consensus reflects this vote, not a stale
+		// rendezvous signature.
+		for _, rid := range ids {
+			s.sh.setRepWord(rid, rwChecksum, s.sh.repWord(rid, rwVoteSum))
+		}
+		s.handleVoteFailure()
+		if s.halted {
+			return
+		}
+	}
+	if action != nil {
+		action()
+	}
+	s.sh.setWord(wVoteRelease, ev)
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+	"rcoe/internal/machine"
+)
+
+// ErrHalted is returned by Run when the system fail-stopped.
+var ErrHalted = errors.New("core: system halted")
+
+// Replica bundles one software-stack replica: a kernel on a dedicated
+// core over a private memory partition.
+type Replica struct {
+	ID int
+	K  *kernel.Kernel
+
+	// chasing is true while the replica is catching up to the leader
+	// under CC-RCoE with an armed breakpoint.
+	chasing     bool
+	chaseTarget logicalTime
+
+	// finished is true once the replica's workload completed.
+	finished bool
+
+	// barrierStart is the core cycle at which the replica began waiting
+	// on the current rendezvous (for timeout detection).
+	barrierStart uint64
+
+	// UserFaults counts user-level exceptions taken by this replica;
+	// UserMemFaults is the memory-fault subset (the fault-injection
+	// campaigns report the two separately, as in Table VII).
+	UserFaults    uint64
+	UserMemFaults uint64
+	// DebugExceptions counts breakpoint and single-step exceptions.
+	DebugExceptions uint64
+}
+
+// Core returns the replica's CPU core.
+func (r *Replica) Core() *machine.Core { return r.K.Core() }
+
+// Stats aggregates system-level counters for reporting.
+type Stats struct {
+	Syncs           uint64 // completed rendezvous
+	Votes           uint64 // signature comparisons
+	SyscallVotes    uint64 // per-syscall votes (SigSync)
+	VMExits         uint64 // VM exits forced (VM configurations)
+	InputBytes      uint64 // bytes replicated through the input buffer
+	DowngradeCycles uint64 // cycles consumed by the last downgrade
+	Reintegrations  uint64 // completed DMR->TMR upgrades (§IV-C)
+}
+
+// System is a replicated (or baseline) software stack on one machine.
+type System struct {
+	cfg  Config
+	m    *machine.Machine
+	sh   shared
+	reps []*Replica
+
+	syncCounter uint64 // generation allocator (monotonic)
+	releaseGen  uint64 // rendezvous release marker (host-side control)
+	releasedSet uint64 // replicas released from the current rendezvous
+	voteFailGen uint64 // generation whose vote failed (pending masking)
+
+	detections []Detection
+	halted     bool
+	haltReason string
+	finished   bool
+
+	stats Stats
+
+	devWindows []devWindow
+
+	primaryChange func(newPrimary int)
+}
+
+// SetPrimaryChangeHook registers a callback invoked after a faulty primary
+// is removed and a new one elected. The device harness uses it to
+// reconfigure device-side state (e.g. freeing a DMA mailbox the dead
+// primary had claimed), standing in for the paper's DMA page-table
+// patching (§IV-A).
+func (s *System) SetPrimaryChangeHook(f func(newPrimary int)) { s.primaryChange = f }
+
+// devWindow records a registered device MMIO window for SysMapDevice.
+type devWindow struct {
+	base, size uint64
+}
+
+// RegisterDeviceWindow makes a device's MMIO window mappable by drivers
+// through SysMapDevice with the given index.
+func (s *System) RegisterDeviceWindow(idx int, base, size uint64) {
+	for len(s.devWindows) <= idx {
+		s.devWindows = append(s.devWindows, devWindow{})
+	}
+	s.devWindows[idx] = devWindow{base: base, size: size}
+}
+
+func (s *System) deviceWindow(idx int) (devWindow, bool) {
+	if idx < 0 || idx >= len(s.devWindows) || s.devWindows[idx].size == 0 {
+		return devWindow{}, false
+	}
+	return s.devWindows[idx], true
+}
+
+// NewSystem builds the machine, partitions memory, instantiates one
+// kernel per replica, and installs the RCoE trap handler.
+func NewSystem(cfg Config) (*System, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	need := partBase + uint64(cfg.Replicas)*cfg.PartitionBytes
+	if uint64(cfg.MemBytes) < need {
+		cfg.MemBytes = int(need)
+	}
+	m := machine.New(cfg.Profile, cfg.MemBytes)
+	sys := &System{
+		cfg: cfg,
+		m:   m,
+		sh:  shared{mem: m.Mem()},
+	}
+	var aliveMask uint64
+	for rid := 0; rid < cfg.Replicas; rid++ {
+		lay := kernel.Layout{Base: PartitionBase(rid, cfg.PartitionBytes), Size: cfg.PartitionBytes}
+		k, err := kernel.New(rid, m.Core(rid), lay)
+		if err != nil {
+			return nil, fmt.Errorf("core: replica %d: %w", rid, err)
+		}
+		sys.reps = append(sys.reps, &Replica{ID: rid, K: k})
+		aliveMask |= 1 << uint(rid)
+	}
+	sys.sh.setWord(wAliveMask, aliveMask)
+	sys.sh.setWord(wPrimary, 0)
+	m.SetHandler(sys)
+	if cfg.TickCycles > 0 {
+		m.AddDevice(&preemptionTimer{period: cfg.TickCycles})
+	}
+	// All device interrupts initially route to replica 0 (the primary).
+	for line := 0; line < 64; line++ {
+		m.RouteIRQ(line, 0)
+	}
+	return sys, nil
+}
+
+// preemptionTimer raises IRQ line 0 periodically; the kernel turns it into
+// replica-wide preemption at an agreed logical time.
+type preemptionTimer struct {
+	period uint64
+}
+
+// TimerLine is the interrupt line of the preemption timer.
+const TimerLine = 0
+
+// Tick implements machine.Device.
+func (t *preemptionTimer) Tick(m *machine.Machine) {
+	if m.Now()%t.period == 0 {
+		m.RaiseIRQ(TimerLine)
+	}
+}
+
+// Machine returns the underlying machine (benchmarks and fault injectors
+// need raw access).
+func (s *System) Machine() *machine.Machine { return s.m }
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Replica returns replica rid.
+func (s *System) Replica(rid int) *Replica { return s.reps[rid] }
+
+// NumReplicas returns the configured replica count.
+func (s *System) NumReplicas() int { return len(s.reps) }
+
+// Primary returns the current primary replica's ID (it changes when a
+// faulty primary is removed).
+func (s *System) Primary() int { return int(s.sh.word(wPrimary)) }
+
+// Alive reports whether replica rid is still in the configuration.
+func (s *System) Alive(rid int) bool { return s.sh.alive(rid) }
+
+// AliveCount returns the number of replicas still alive.
+func (s *System) AliveCount() int {
+	n := 0
+	for rid := range s.reps {
+		if s.sh.alive(rid) {
+			n++
+		}
+	}
+	return n
+}
+
+// Detections returns the recorded detection events.
+func (s *System) Detections() []Detection {
+	return append([]Detection(nil), s.detections...)
+}
+
+// Stats returns system counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Halted reports whether the system fail-stopped, with the reason.
+func (s *System) Halted() (bool, string) { return s.halted, s.haltReason }
+
+// Finished reports whether all alive replicas completed their workload
+// and passed the final vote.
+func (s *System) Finished() bool { return s.finished }
+
+// Load loads the same user process into every replica and starts the
+// replica cores. Call once before Run.
+func (s *System) Load(cfg kernel.ProcessConfig) error {
+	for _, r := range s.reps {
+		if err := r.K.LoadProcess(cfg); err != nil {
+			return fmt.Errorf("core: replica %d: %w", r.ID, err)
+		}
+		if !r.K.Schedule() {
+			return fmt.Errorf("core: replica %d: nothing to schedule", r.ID)
+		}
+		c := r.Core()
+		s.m.StartCore(r.ID, c.PC, r.K.AddrSpace())
+	}
+	return nil
+}
+
+// Run steps the machine until the workload finishes, the system halts, or
+// the cycle budget is exhausted (ErrTimeout).
+func (s *System) Run(maxCycles uint64) error {
+	err := s.m.RunUntil(func() bool { return s.finished || s.halted }, maxCycles)
+	if s.halted {
+		return fmt.Errorf("%w: %s", ErrHalted, s.haltReason)
+	}
+	return err
+}
+
+// RunCycles steps the machine a fixed number of cycles (server workloads
+// that never finish).
+func (s *System) RunCycles(n uint64) {
+	for i := uint64(0); i < n && !s.halted; i++ {
+		s.m.Step()
+	}
+}
+
+// halt fail-stops the whole system.
+func (s *System) halt(reason string) {
+	if s.halted {
+		return
+	}
+	s.halted = true
+	s.haltReason = reason
+	s.sh.setWord(wHalted, 1)
+	for _, r := range s.reps {
+		r.Core().Halt()
+	}
+}
+
+// record appends a detection event.
+func (s *System) record(kind DetectionKind, rid int, masked bool) {
+	s.detections = append(s.detections, Detection{
+		Kind:    kind,
+		Cycle:   s.m.Now(),
+		Replica: rid,
+		Masked:  masked,
+	})
+}
+
+// timeOf computes a replica's current logical time. Under LC this is the
+// event count alone; under CC it is the precise triple, using either the
+// PMU or the reserved branch-count register, with the Listing 3 fixup for
+// compiler-inserted counters.
+func (s *System) timeOf(r *Replica) logicalTime {
+	lt := logicalTime{Events: r.K.EventCount()}
+	if s.cfg.Mode != ModeCC {
+		return lt
+	}
+	if r.K.CurrentTID() < 0 {
+		// Idle or finished: quiescent at the event boundary, ahead of
+		// any replica still executing toward it.
+		lt.Branches = ^uint64(0)
+		lt.IP = ^uint64(0)
+		return lt
+	}
+	c := r.Core()
+	if s.cfg.Profile.PrecisePMU && !s.cfg.ForceCompilerCounting {
+		lt.Branches = c.UserBranches
+	} else {
+		lt.Branches = c.Regs[isa.RBC]
+		// Listing 3 race: the counter increment precedes its branch, so
+		// a replica stopped exactly at an instrumented branch has
+		// already counted the branch it has not yet taken. A zero counter
+		// means the increment was consumed before the last reset (the
+		// clock was reset exactly at this branch), so there is nothing to
+		// subtract — without this guard the adjustment underflows and the
+		// replica publishes an astronomical logical time.
+		if s.cfg.BranchSites[c.PC] && lt.Branches > 0 {
+			lt.Branches--
+		}
+	}
+	lt.IP = c.PC
+	lt.BlockRem = s.blockRemaining(r)
+	return lt
+}
+
+// blockRemaining returns the remaining length if the replica is stopped
+// at a rep-style block instruction, else 0. Identifying the instruction
+// requires reading user text; inside a VM this needs a guest page-table
+// walk (§III-D), which is charged to the core.
+func (s *System) blockRemaining(r *Replica) uint64 {
+	c := r.Core()
+	raw, err := r.K.CopyFromUser(c.PC, isa.InstrBytes)
+	if err != nil {
+		return 0
+	}
+	ins, err := isa.Decode(raw)
+	if err != nil || !ins.Op.IsBlockOp() {
+		return 0
+	}
+	if s.cfg.VM {
+		c.AddStall(s.cfg.Profile.Costs.GuestWalk)
+		s.stats.VMExits++
+	}
+	return c.Regs[ins.Rd]
+}
+
+// resetBranchClock clears the branch-count component after a completed
+// synchronisation ("after syncing, it is reset to avoid overflow").
+func (s *System) resetBranchClock(r *Replica) {
+	if s.cfg.Mode != ModeCC {
+		return
+	}
+	c := r.Core()
+	c.UserBranches = 0
+	if (!s.cfg.Profile.PrecisePMU || s.cfg.ForceCompilerCounting) && r.K.CurrentTID() >= 0 {
+		c.Regs[isa.RBC] = 0
+	}
+}
+
+// DebugShared renders the shared framework words for protocol debugging.
+func DebugShared(s *System) string {
+	out := fmt.Sprintf("gen=%d kind=%d lines=%#x alive=%#x prim=%d halted=%d relGen=%d voteRel=%d outcome=%d released=%#x\n",
+		s.sh.word(wSyncGen), s.sh.word(wSyncKind), s.sh.word(wSyncLines),
+		s.sh.word(wAliveMask), s.sh.word(wPrimary), s.sh.word(wHalted),
+		s.sh.word(wReleaseGen), s.sh.word(wVoteRelease), s.sh.word(wVoteOutcome), s.releasedSet)
+	for rid := range s.reps {
+		out += fmt.Sprintf("  rep%d: arriveGen=%d t=(%d,%d,%#x,%d) sig=(%d,%#x) voteEv=%d voteSum=%#x done=%d\n",
+			rid, s.sh.repWord(rid, rwArriveGen), s.sh.repWord(rid, rwEvents),
+			s.sh.repWord(rid, rwBranches), s.sh.repWord(rid, rwIP), s.sh.repWord(rid, rwBlockRem),
+			s.sh.repWord(rid, rwSigEvents), s.sh.repWord(rid, rwChecksum),
+			s.sh.repWord(rid, rwVoteEvent), s.sh.repWord(rid, rwVoteSum), s.sh.repWord(rid, rwDoneFlag))
+	}
+	return out
+}

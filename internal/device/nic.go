@@ -1,0 +1,161 @@
+// Package device implements the simulated peripherals: a network
+// interface with DMA mailboxes and interrupts (the Intel I219 stand-in
+// behind the Redis/YCSB system benchmark), and a simple console.
+//
+// Devices live outside the sphere of replication: the NIC performs DMA
+// into a dedicated physical region that no replica owns, and its
+// registers are reached through MMIO. The paper's residual vulnerability
+// — corruption of DMA buffers is invisible to the replicas until the data
+// enters the SoR via FT_Mem_Rep — is therefore reproduced exactly.
+package device
+
+import "rcoe/internal/machine"
+
+// NIC register offsets within its MMIO window.
+const (
+	// RegRxStatus reads 1 when the RX mailbox holds a frame.
+	RegRxStatus = 0x00
+	// RegTxDoorbell is written by the driver after filling the TX
+	// mailbox.
+	RegTxDoorbell = 0x08
+	// RegIRQAck acknowledges the NIC interrupt.
+	RegIRQAck = 0x10
+)
+
+// NICWindowSize is the MMIO window size.
+const NICWindowSize = 0x40
+
+// DMA mailbox layout within the NIC's DMA region: a one-deep RX mailbox
+// and a one-deep TX mailbox.
+const (
+	rxFlagOff = 0x0000 // 1 when a frame is present
+	rxLenOff  = 0x0008
+	rxDataOff = 0x0010
+	txFlagOff = 0x1000
+	txLenOff  = 0x1008
+	txDataOff = 0x1010
+	// MaxFrameBytes bounds a mailbox frame.
+	MaxFrameBytes = 0xF00
+)
+
+// NIC is the simulated network interface.
+type NIC struct {
+	mmioBase uint64
+	dmaBase  uint64
+	line     int
+
+	pending   [][]byte // frames waiting to enter the RX mailbox
+	responses [][]byte // frames the driver transmitted
+
+	doorbell bool
+
+	// RxDelivered and TxCollected count frames through each mailbox.
+	RxDelivered uint64
+	TxCollected uint64
+}
+
+// NewNIC creates a NIC with registers at mmioBase, using the DMA region
+// at dmaBase and raising interrupts on the given line.
+func NewNIC(mmioBase, dmaBase uint64, line int) *NIC {
+	return &NIC{mmioBase: mmioBase, dmaBase: dmaBase, line: line}
+}
+
+// MMIOBase returns the register window base.
+func (n *NIC) MMIOBase() uint64 { return n.mmioBase }
+
+// Line returns the NIC's interrupt line.
+func (n *NIC) Line() int { return n.line }
+
+// RxFlagPA, RxLenPA, RxDataPA, TxFlagPA, TxLenPA, TxDataPA expose the DMA
+// mailbox addresses the driver needs (FT_Mem_Access arguments).
+func (n *NIC) RxFlagPA() uint64 { return n.dmaBase + rxFlagOff }
+
+// RxLenPA returns the RX length word address.
+func (n *NIC) RxLenPA() uint64 { return n.dmaBase + rxLenOff }
+
+// RxDataPA returns the RX payload address.
+func (n *NIC) RxDataPA() uint64 { return n.dmaBase + rxDataOff }
+
+// TxFlagPA returns the TX flag word address.
+func (n *NIC) TxFlagPA() uint64 { return n.dmaBase + txFlagOff }
+
+// TxLenPA returns the TX length word address.
+func (n *NIC) TxLenPA() uint64 { return n.dmaBase + txLenOff }
+
+// TxDataPA returns the TX payload address.
+func (n *NIC) TxDataPA() uint64 { return n.dmaBase + txDataOff }
+
+// Inject queues a frame for delivery into the RX mailbox (the load
+// generator's "send").
+func (n *NIC) Inject(frame []byte) {
+	cp := append([]byte(nil), frame...)
+	n.pending = append(n.pending, cp)
+}
+
+// PendingRx returns the number of frames not yet delivered to the driver.
+func (n *NIC) PendingRx() int { return len(n.pending) }
+
+// TakeResponses returns and clears the transmitted frames.
+func (n *NIC) TakeResponses() [][]byte {
+	out := n.responses
+	n.responses = nil
+	return out
+}
+
+// Tick implements machine.Device: move queued frames into a free RX
+// mailbox (raising the interrupt), and drain the TX mailbox when the
+// doorbell rang.
+func (n *NIC) Tick(m *machine.Machine) {
+	mem := m.Mem()
+	if n.doorbell {
+		n.doorbell = false
+		flag, _ := mem.ReadU(n.TxFlagPA(), 8)
+		if flag == 1 {
+			ln, _ := mem.ReadU(n.TxLenPA(), 8)
+			if ln > MaxFrameBytes {
+				ln = MaxFrameBytes
+			}
+			data, err := mem.Read(n.TxDataPA(), int(ln))
+			if err == nil {
+				n.responses = append(n.responses, data)
+				n.TxCollected++
+			}
+			_ = mem.WriteU(n.TxFlagPA(), 8, 0)
+		}
+	}
+	if len(n.pending) > 0 {
+		flag, _ := mem.ReadU(n.RxFlagPA(), 8)
+		if flag == 0 {
+			frame := n.pending[0]
+			n.pending = n.pending[1:]
+			if len(frame) > MaxFrameBytes {
+				frame = frame[:MaxFrameBytes]
+			}
+			_ = mem.WriteU(n.RxLenPA(), 8, uint64(len(frame)))
+			_ = mem.Write(n.RxDataPA(), frame)
+			_ = mem.WriteU(n.RxFlagPA(), 8, 1)
+			n.RxDelivered++
+			m.RaiseIRQ(n.line)
+		}
+	}
+}
+
+// MMIORead implements machine.MMIOHandler.
+func (n *NIC) MMIORead(addr uint64, size int) uint64 {
+	switch addr - n.mmioBase {
+	case RegRxStatus:
+		return 0 // reserved; drivers read the RX flag via DMA
+	default:
+		return 0
+	}
+}
+
+// MMIOWrite implements machine.MMIOHandler.
+func (n *NIC) MMIOWrite(addr uint64, size int, v uint64) {
+	switch addr - n.mmioBase {
+	case RegTxDoorbell:
+		n.doorbell = true
+	case RegIRQAck:
+		// Interrupt latching is edge-style in the machine; nothing to do.
+	}
+}

@@ -1,0 +1,106 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+
+	"rcoe/internal/machine"
+)
+
+func newMachine() *machine.Machine {
+	prof := machine.X86()
+	prof.JitterShift = 63
+	return machine.New(prof, 1<<20)
+}
+
+func TestInjectDeliversToMailboxAndRaisesIRQ(t *testing.T) {
+	m := newMachine()
+	nic := NewNIC(0xF000_0000, 0x8000, 3)
+	m.AddDevice(nic)
+	frame := []byte("hello device")
+	nic.Inject(frame)
+	m.Step()
+	flag, _ := m.Mem().ReadU(nic.RxFlagPA(), 8)
+	if flag != 1 {
+		t.Fatalf("RX flag = %d, want 1", flag)
+	}
+	ln, _ := m.Mem().ReadU(nic.RxLenPA(), 8)
+	if int(ln) != len(frame) {
+		t.Fatalf("RX len = %d", ln)
+	}
+	data, _ := m.Mem().Read(nic.RxDataPA(), len(frame))
+	if !bytes.Equal(data, frame) {
+		t.Fatalf("RX data = %q", data)
+	}
+	if m.Core(m.IRQRoute(3)).PendingIRQ()&(1<<3) == 0 {
+		t.Fatalf("IRQ not raised")
+	}
+	if nic.RxDelivered != 1 {
+		t.Fatalf("RxDelivered = %d", nic.RxDelivered)
+	}
+}
+
+func TestSecondFrameWaitsForMailbox(t *testing.T) {
+	m := newMachine()
+	nic := NewNIC(0xF000_0000, 0x8000, 3)
+	m.AddDevice(nic)
+	nic.Inject([]byte("one"))
+	nic.Inject([]byte("two"))
+	m.Step()
+	if nic.PendingRx() != 1 {
+		t.Fatalf("pending = %d, want 1 (mailbox occupied)", nic.PendingRx())
+	}
+	// Consumer clears the flag; the next tick delivers frame two.
+	_ = m.Mem().WriteU(nic.RxFlagPA(), 8, 0)
+	m.Step()
+	data, _ := m.Mem().Read(nic.RxDataPA(), 3)
+	if string(data) != "two" {
+		t.Fatalf("second frame = %q", data)
+	}
+}
+
+func TestDoorbellCollectsTxMailbox(t *testing.T) {
+	m := newMachine()
+	nic := NewNIC(0xF000_0000, 0x8000, 3)
+	m.AddDevice(nic)
+	resp := []byte("response!")
+	_ = m.Mem().WriteU(nic.TxLenPA(), 8, uint64(len(resp)))
+	_ = m.Mem().Write(nic.TxDataPA(), resp)
+	_ = m.Mem().WriteU(nic.TxFlagPA(), 8, 1)
+	nic.MMIOWrite(nic.MMIOBase()+RegTxDoorbell, 8, 1)
+	m.Step()
+	got := nic.TakeResponses()
+	if len(got) != 1 || !bytes.Equal(got[0], resp) {
+		t.Fatalf("responses = %q", got)
+	}
+	flag, _ := m.Mem().ReadU(nic.TxFlagPA(), 8)
+	if flag != 0 {
+		t.Fatalf("TX flag not cleared")
+	}
+	if len(nic.TakeResponses()) != 0 {
+		t.Fatalf("TakeResponses did not drain")
+	}
+}
+
+func TestDoorbellWithoutFlagIsIgnored(t *testing.T) {
+	m := newMachine()
+	nic := NewNIC(0xF000_0000, 0x8000, 3)
+	m.AddDevice(nic)
+	nic.MMIOWrite(nic.MMIOBase()+RegTxDoorbell, 8, 1)
+	m.Step()
+	if len(nic.TakeResponses()) != 0 {
+		t.Fatalf("phantom response collected")
+	}
+}
+
+func TestOversizedFrameTruncated(t *testing.T) {
+	m := newMachine()
+	nic := NewNIC(0xF000_0000, 0x8000, 3)
+	m.AddDevice(nic)
+	nic.Inject(make([]byte, MaxFrameBytes+100))
+	m.Step()
+	ln, _ := m.Mem().ReadU(nic.RxLenPA(), 8)
+	if ln != MaxFrameBytes {
+		t.Fatalf("frame not truncated: %d", ln)
+	}
+}

@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/harness"
+	"rcoe/internal/machine"
+	"rcoe/internal/workload"
+)
+
+func kvBase(mode core.Mode, reps int) harness.KVOptions {
+	return harness.KVOptions{
+		System: core.Config{
+			Mode:       mode,
+			Replicas:   reps,
+			TickCycles: 50_000,
+		},
+		Workload:    workload.YCSBA,
+		Records:     24,
+		Operations:  200,
+		TraceOutput: true,
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	if OutcomeSignatureMismatch.Controlled() != true {
+		t.Fatalf("signature mismatch should be controlled")
+	}
+	if OutcomeYCSBCorruption.Controlled() {
+		t.Fatalf("client corruption is uncontrolled")
+	}
+	if OutcomeNone.Observable() {
+		t.Fatalf("no-effect is not observable")
+	}
+	if !OutcomeMasked.Controlled() {
+		t.Fatalf("masked errors are controlled")
+	}
+}
+
+func TestTally(t *testing.T) {
+	tally := NewTally()
+	tally.Add(OutcomeNone, 10)
+	tally.Add(OutcomeSignatureMismatch, 3)
+	tally.Add(OutcomeYCSBCorruption, 2)
+	if tally.Injected != 15 {
+		t.Fatalf("injected = %d", tally.Injected)
+	}
+	if tally.Observed() != 2 || tally.Controlled() != 1 || tally.Uncontrolled() != 1 {
+		t.Fatalf("tally = %+v", tally)
+	}
+}
+
+func TestMemTrialBaselineObservesSomething(t *testing.T) {
+	// With aggressive flipping into the primary's user memory, the
+	// baseline should eventually see corruption, errors or a crash.
+	opts := MemCampaignOptions{
+		KV:              kvBase(core.ModeNone, 1),
+		FlipEveryCycles: 1_200,
+		MaxFlips:        5000,
+	}
+	seen := false
+	for seed := uint64(1); seed <= 6 && !seen; seed++ {
+		res, err := MemTrial(opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d: outcome=%v injected=%d", seed, res.Outcome, res.Injected)
+		if res.Outcome.Observable() {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("no observable outcome in any baseline trial")
+	}
+}
+
+func TestMemTrialDMRDetects(t *testing.T) {
+	opts := MemCampaignOptions{
+		KV:              kvBase(core.ModeLC, 2),
+		FlipEveryCycles: 1_200,
+		MaxFlips:        5000,
+	}
+	controlled := 0
+	uncontrolled := 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, err := MemTrial(opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d: outcome=%v injected=%d", seed, res.Outcome, res.Injected)
+		if res.Outcome.Controlled() {
+			controlled++
+		} else if res.Outcome.Observable() {
+			uncontrolled++
+		}
+	}
+	if controlled == 0 {
+		t.Fatalf("DMR never detected injected faults (uncontrolled=%d)", uncontrolled)
+	}
+}
+
+func TestRegTrialBaselineCorruptsOrCrashes(t *testing.T) {
+	opts := RegCampaignOptions{
+		System:       core.Config{Mode: core.ModeNone, Replicas: 1},
+		MessageBytes: 16384,
+	}
+	var observable int
+	for seed := uint64(1); seed <= 8; seed++ {
+		out, err := RegTrial(opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d: %v", seed, out)
+		if out.Observable() && !out.Controlled() {
+			observable++
+		}
+	}
+	if observable == 0 {
+		t.Fatalf("register flips never corrupted the baseline digest")
+	}
+}
+
+func TestRegTrialCCDMRControls(t *testing.T) {
+	opts := RegCampaignOptions{
+		System:       core.Config{Mode: core.ModeCC, Replicas: 2},
+		MessageBytes: 16384,
+	}
+	var controlled, uncontrolled int
+	for seed := uint64(1); seed <= 8; seed++ {
+		out, err := RegTrial(opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d: %v", seed, out)
+		if out.Controlled() {
+			controlled++
+		} else if out.Observable() {
+			uncontrolled++
+		}
+	}
+	if uncontrolled != 0 {
+		t.Fatalf("CC-D let %d register faults escape (Table VIII expects zero)", uncontrolled)
+	}
+	if controlled == 0 {
+		t.Fatalf("no register fault was detected; expected some effect")
+	}
+}
+
+func TestRecoveryNonPrimaryCheaperThanPrimary(t *testing.T) {
+	prim, err := RecoveryTrial(RecoveryOptions{
+		System:        core.Config{Mode: core.ModeLC},
+		FaultyReplica: 0,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatalf("primary trial: %v", err)
+	}
+	other, err := RecoveryTrial(RecoveryOptions{
+		System:        core.Config{Mode: core.ModeLC},
+		FaultyReplica: 2,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatalf("non-primary trial: %v", err)
+	}
+	if !prim.WasPrimary || other.WasPrimary {
+		t.Fatalf("primary flags wrong: %v %v", prim.WasPrimary, other.WasPrimary)
+	}
+	ratio := float64(prim.Cycles) / float64(other.Cycles)
+	t.Logf("primary=%d cycles, other=%d cycles, ratio=%.0fx", prim.Cycles, other.Cycles, ratio)
+	if ratio < 20 {
+		t.Fatalf("primary removal only %.1fx costlier; Table X expects ~2 orders of magnitude", ratio)
+	}
+}
+
+func TestRecoveryCCMaskingUnsupportedOnArm(t *testing.T) {
+	_, err := RecoveryTrial(RecoveryOptions{
+		System:        core.Config{Mode: core.ModeLC, Profile: machine.Arm()},
+		FaultyReplica: 2,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatalf("LC masking on Arm should work: %v", err)
+	}
+	// CC masking on Arm must halt (no spare PTE bit) when the primary is
+	// removed — exercised through the core config; here we confirm the
+	// profile flag that gates it.
+	if machine.Arm().HasSparePTEBit {
+		t.Fatalf("arm profile should not have a spare PTE bit (§IV-A)")
+	}
+}

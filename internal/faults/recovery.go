@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"rcoe/internal/core"
+	"rcoe/internal/harness"
+	"rcoe/internal/workload"
+)
+
+// ErrNoDowngrade is returned when a recovery trial did not produce a
+// masked downgrade.
+var ErrNoDowngrade = errors.New("faults: no downgrade occurred")
+
+// RecoveryOptions configures the Table X / Fig. 4 experiments: a TMR
+// system running the KV workload has one replica's signature accumulator
+// corrupted mid-run; the system votes it out and continues as DMR.
+type RecoveryOptions struct {
+	// System must be a TMR configuration with Masking enabled.
+	System core.Config
+	// FaultyReplica is the replica to corrupt (0 = the primary: the
+	// expensive path).
+	FaultyReplica int
+	// InjectAfterOps delays the corruption into the run phase.
+	InjectAfterOps uint64
+	// Records/Operations configure the KV workload.
+	Records, Operations uint64
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// RecoveryResult reports a downgrade measurement.
+type RecoveryResult struct {
+	// Cycles is the measured recovery cost (Table X).
+	Cycles uint64
+	// WasPrimary reports whether the removed replica was the primary.
+	WasPrimary bool
+	// Ops/Throughput cover the whole run (service continued across the
+	// downgrade — Fig. 4's point).
+	Ops        uint64
+	Throughput float64
+	// WindowThroughput samples throughput over fixed windows for Fig. 4.
+	WindowThroughput []float64
+	// DowngradeWindow is the index of the window containing the
+	// downgrade.
+	DowngradeWindow int
+}
+
+// RecoveryTrial runs one masked-downgrade measurement.
+func RecoveryTrial(opts RecoveryOptions) (RecoveryResult, error) {
+	if opts.Records == 0 {
+		opts.Records = 48
+	}
+	if opts.Operations == 0 {
+		opts.Operations = 160
+	}
+	if opts.InjectAfterOps == 0 {
+		opts.InjectAfterOps = opts.Operations / 3
+	}
+	sys := opts.System
+	sys.Masking = true
+	if sys.Replicas == 0 {
+		sys.Replicas = 3
+	}
+	if sys.TickCycles == 0 {
+		sys.TickCycles = 50_000
+	}
+	run, err := harness.NewKV(harness.KVOptions{
+		System:      sys,
+		Workload:    workload.YCSBA,
+		Records:     opts.Records,
+		Operations:  opts.Operations,
+		TraceOutput: true,
+		Seed:        opts.Seed | 1,
+		// Packets lost in the failover window are retried quickly so the
+		// Fig. 4 timeline shows the service dip, not the client timeout.
+		RetryCycles: 300_000,
+	})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	const window = 150_000 // cycles per Fig. 4 throughput sample
+	var res RecoveryResult
+	res.DowngradeWindow = -1
+	injected := false
+	lastOps := uint64(0)
+	var windowOps uint64
+	budget := uint64(1_500_000_000)
+	start := run.Sys.Machine().Now()
+	nextWindow := start + window
+	for !run.Done() {
+		if halted, reason := run.Sys.Halted(); halted {
+			return res, fmt.Errorf("faults: system halted instead of masking: %s", reason)
+		}
+		if run.Sys.Machine().Now()-start > budget {
+			return res, fmt.Errorf("faults: recovery trial exceeded budget after %d ops", run.Snapshot().Ops)
+		}
+		run.StepChunk(2_000)
+		snap := run.Snapshot()
+		windowOps += snap.Ops - lastOps
+		lastOps = snap.Ops
+		if run.Sys.Machine().Now() >= nextWindow {
+			nextWindow += window
+			res.WindowThroughput = append(res.WindowThroughput, float64(windowOps)/(float64(window)/1e6))
+			windowOps = 0
+		}
+		if !injected && snap.Ops >= opts.InjectAfterOps {
+			injected = true
+			lay := run.Sys.Replica(opts.FaultyReplica).K.Layout()
+			if err := run.Sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+				return res, err
+			}
+			res.DowngradeWindow = len(res.WindowThroughput)
+			res.WasPrimary = opts.FaultyReplica == run.Sys.Primary()
+		}
+	}
+	_ = run.Sys.Run(50_000_000)
+	snap := run.Snapshot()
+	res.Ops = snap.Ops
+	res.Throughput = snap.Throughput
+	res.Cycles = snap.Stats.DowngradeCycles
+	if !injected || res.Cycles == 0 {
+		return res, ErrNoDowngrade
+	}
+	if run.Sys.Alive(opts.FaultyReplica) {
+		return res, fmt.Errorf("faults: replica %d was not removed", opts.FaultyReplica)
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package guest
+
+import (
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+)
+
+// Dhrystone builds the integer microbenchmark of Table II. Like the
+// original, its main body is one long loop mixing arithmetic, string
+// copies, comparisons and procedure calls — which is why CC-RCoE
+// synchronisation points rarely land in a tight loop and the overhead
+// stays low (4-5% in the paper).
+func Dhrystone(loops int64) Program {
+	return Program{
+		Name:      "dhrystone",
+		DataBytes: 4096,
+		Stacks:    1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			dataPtr(b, rBase)
+			// Seed the "record" buffer the string ops copy around.
+			b.Li(rT0, 64)
+			b.Mov(rT1, rBase)
+			b.Memset(rT0, rT1, 0x41)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops))
+			b.Label("main_loop")
+			// Proc_1/Proc_3-style arithmetic chain.
+			b.Addi(rT0, rCnt, 2)
+			b.Mul(rT1, rT0, rT0)
+			b.Addi(rT1, rT1, 3)
+			b.Li(rT2, 7)
+			b.Divu(rT3, rT1, rT2)
+			b.Rem(rT4, rT1, rT2)
+			b.Add(rT5, rT3, rT4)
+			b.Xor(rT5, rT5, rT0)
+			b.Shli(rT6, rT5, 3)
+			b.Sub(rT6, rT6, rT5)
+			// Str_Copy: 30-character string copy via the rep-style copy.
+			b.Li(rT7, 32)
+			b.Addi(rT8, rBase, 64)
+			b.Mov(rT9, rBase)
+			b.Memcpy(rT7, rT8, rT9)
+			// Func_2-style comparison chain.
+			b.Andi(rT0, rT6, 255)
+			b.Slti(rT1, rT0, 128)
+			b.Beq(rT1, isa.RZero, "no_inc")
+			b.Addi(rT2, rT2, 1)
+			b.Label("no_inc")
+			// Proc_7 call.
+			b.Call("proc7")
+			// Array write: Arr_1[i % 32] = i.
+			b.Andi(rT0, rCnt, 31)
+			b.Shli(rT0, rT0, 3)
+			b.Add(rT0, rT0, rBase)
+			b.St(8, rT0, rCnt, 128)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "main_loop")
+			exitWith(b, 0)
+			// Proc_7(a, b) -> adds and returns (straight-line callee).
+			b.Label("proc7")
+			b.Addi(rT3, rT3, 5)
+			b.Add(rT4, rT3, rT2)
+			b.Sub(rT5, rT4, rT0)
+			b.Ret()
+			return b
+		},
+	}
+}

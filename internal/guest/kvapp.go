@@ -1,0 +1,438 @@
+package guest
+
+import (
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+)
+
+// DriverModel selects how the key-value server's driver half reaches the
+// device, matching the paper's two implementations (§III-E): LC drivers
+// are SoR-aware user code (the primary touches the device and replicates
+// input through the cross-replica shared region; the others spin on it),
+// while CC drivers must behave identically in every replica and therefore
+// delegate all device access to the kernel via FT_Mem_Access/FT_Mem_Rep.
+type DriverModel int
+
+// Driver models.
+const (
+	// DriverLC is the user-mode, replica-aware driver.
+	DriverLC DriverModel = iota + 1
+	// DriverCC is the kernel-delegating driver.
+	DriverCC
+)
+
+// KVConfig parameterises the key-value server build.
+type KVConfig struct {
+	// Driver selects the device-access model.
+	Driver DriverModel
+	// Requests is the number of requests to serve before exiting.
+	Requests uint64
+	// Slots is the hash-table size (power of two).
+	Slots uint64
+	// TraceOutput controls whether the driver folds response frames into
+	// the state signature with FT_Add_Trace. Disabling it reproduces the
+	// LC-D-N / LC-T-N rows of Table VII, where undetected output
+	// corruption rises dramatically.
+	TraceOutput bool
+	// IRQLine is the NIC interrupt line.
+	IRQLine int64
+	// Device physical addresses (from the NIC), needed by the CC driver
+	// whose FT_Mem_Access calls take physical addresses.
+	RxFlagPA, RxLenPA, RxDataPA uint64
+	TxFlagPA, TxLenPA, TxDataPA uint64
+	DoorbellPA                  uint64
+}
+
+// Data-region offsets used by the server.
+const (
+	kvScratchOff = 0x00
+	kvReqLenOff  = 0x08
+	kvRespLenOff = 0x10
+	kvLastSeqOff = 0x18
+	kvReqBufOff  = 0x100
+	kvRespBufOff = 0x1000
+	kvTableOff   = 0x2000
+	// kvSlotSize: state(8) + key(32) + valLen(8) + value(256).
+	kvSlotSize = 304
+	kvValOff   = 48
+	kvValCap   = 256
+)
+
+// KVTableBytes returns the data-region size a given slot count needs.
+func KVTableBytes(slots uint64) uint64 {
+	return kvTableOff + slots*kvSlotSize + 4096
+}
+
+// NIC DMA mailbox offsets within the shared input region (LC path).
+const (
+	shSeqOff  = 0
+	shLenOff  = 8
+	shDataOff = 16
+)
+
+// KVApp builds the Redis-stand-in key-value server with its integrated
+// driver (the paper runs Redis plus an lwIP/Ethernet driver process; our
+// single-threaded event loop merges them, preserving Redis's own
+// single-threaded design).
+func KVApp(cfg KVConfig) Program {
+	if cfg.Slots == 0 {
+		cfg.Slots = 4096
+	}
+	return Program{
+		Name:      "kvapp",
+		DataBytes: KVTableBytes(cfg.Slots),
+		Arg:       cfg.Requests,
+		Stacks:    1,
+		Build:     func() *asm.Builder { return buildKVApp(cfg) },
+	}
+}
+
+// Register allocation for the server (see guest.go for globals).
+const (
+	kvDone  = 5  // processed requests
+	kvTotal = 6  // target request count
+	kvOp    = 7  // request opcode
+	kvReq   = 8  // request buffer VA
+	kvResp  = 9  // response buffer VA
+	kvS0    = 10 // scratch
+	kvS1    = 11
+	kvKLen  = 12 // key length
+	kvVLen  = 13 // value length / scan count
+	kvRID   = 14 // request ID
+	kvSlot  = 15 // current slot VA
+	kvS2    = 16
+	kvS3    = 17
+	kvS4    = 18
+	kvS5    = 19
+	kvDMA   = 22 // DMA window VA (LC)
+	kvDev   = 23 // device MMIO VA (LC)
+	kvShr   = 24 // shared region VA (LC)
+	kvTab   = 25 // hash-table base VA
+	kvTEnd  = 26 // hash-table end VA
+)
+
+func buildKVApp(cfg KVConfig) *asm.Builder {
+	b := asm.New()
+	dataPtr(b, rBase)
+	b.Mov(kvTotal, isa.RArg0) // Arg carried the request target
+	b.Li64(kvReq, kernel.DataVA+kvReqBufOff)
+	b.Li64(kvResp, kernel.DataVA+kvRespBufOff)
+	b.Li64(kvTab, kernel.DataVA+kvTableOff)
+	b.Li64(kvTEnd, kernel.DataVA+kvTableOff+cfg.Slots*kvSlotSize)
+	b.Li(kvDone, 0)
+	if cfg.Driver == DriverLC {
+		b.Syscall(kernel.SysMapShared)
+		b.Mov(kvShr, isa.RArg0)
+		b.Li(isa.RArg0, 0)
+		b.Syscall(kernel.SysMapDevice)
+		b.Mov(kvDev, isa.RArg0)
+		b.Li64(kvDMA, kernel.DMAVA)
+	}
+
+	b.Label("mainloop")
+	b.Bge(kvDone, kvTotal, "done")
+	b.Li(isa.RArg0, int32(cfg.IRQLine))
+	b.Syscall(kernel.SysIRQWait)
+	if cfg.Driver == DriverLC {
+		buildLCInput(b)
+	} else {
+		buildCCInput(b, cfg)
+	}
+	// Spurious wake (no frame): back to waiting.
+	b.Ld(8, kvS0, rBase, kvReqLenOff)
+	b.Beq(kvS0, isa.RZero, "mainloop")
+
+	b.Call("process")
+
+	if cfg.TraceOutput {
+		// Contribute the response frame to the state signature before it
+		// leaves the sphere of replication (§III-C).
+		b.Mov(isa.RArg0, kvResp)
+		b.Ld(8, isa.RArg1, rBase, kvRespLenOff)
+		b.Syscall(kernel.SysFTAddTrace)
+	}
+	if cfg.Driver == DriverLC {
+		buildLCOutput(b)
+	} else {
+		buildCCOutput(b, cfg)
+	}
+	b.Addi(kvDone, kvDone, 1)
+	b.J("mainloop")
+
+	b.Label("done")
+	exitWith(b, 0)
+
+	buildKVProcess(b, cfg)
+	return b
+}
+
+// buildLCInput emits the LC driver's receive path: the primary reads the
+// DMA mailbox with plain loads and publishes the frame (with a sequence
+// number) into the cross-replica shared region; the other replicas spin
+// on the sequence word. Branching on the replica ID is legal under
+// LC-RCoE because instruction streams are not compared.
+func buildLCInput(b *asm.Builder) {
+	b.Syscall(kernel.SysGetRID)
+	b.Mov(kvS0, isa.RArg0)
+	b.Syscall(kernel.SysGetPrimary)
+	b.Mov(kvS1, isa.RArg0)
+	b.Bne(kvS0, kvS1, "lc_follower")
+	// Primary: read the RX mailbox.
+	b.Ld(8, kvS2, kvDMA, rxFlagOffC)
+	b.Beq(kvS2, isa.RZero, "lc_pub_empty")
+	b.Ld(8, kvS3, kvDMA, rxLenOffC)
+	b.St(8, kvShr, kvS3, shLenOff)
+	b.Mov(kvS2, kvS3)
+	b.Addi(kvS4, kvShr, shDataOff)
+	b.Addi(kvS5, kvDMA, rxDataOffC)
+	b.Memcpy(kvS2, kvS4, kvS5)
+	// Free the mailbox for the next frame.
+	b.St(8, kvDMA, isa.RZero, rxFlagOffC)
+	b.J("lc_pub")
+	b.Label("lc_pub_empty")
+	b.St(8, kvShr, isa.RZero, shLenOff)
+	b.Label("lc_pub")
+	b.Ld(8, kvS2, kvShr, shSeqOff)
+	b.Addi(kvS2, kvS2, 1)
+	b.St(8, kvShr, kvS2, shSeqOff)
+	b.St(8, rBase, kvS2, kvLastSeqOff)
+	b.J("lc_consume")
+	// Followers: spin until the primary publishes.
+	b.Label("lc_follower")
+	b.Ld(8, kvS2, rBase, kvLastSeqOff)
+	b.Label("lc_spin")
+	b.Ld(8, kvS3, kvShr, shSeqOff)
+	b.Beq(kvS3, kvS2, "lc_spin")
+	b.St(8, rBase, kvS3, kvLastSeqOff)
+	b.Label("lc_consume")
+	// All replicas copy the published frame into private memory.
+	b.Ld(8, kvS2, kvShr, shLenOff)
+	b.St(8, rBase, kvS2, kvReqLenOff)
+	b.Beq(kvS2, isa.RZero, "lc_in_done")
+	b.Mov(kvS3, kvS2)
+	b.Mov(kvS4, kvReq)
+	b.Addi(kvS5, kvShr, shDataOff)
+	b.Memcpy(kvS3, kvS4, kvS5)
+	b.Label("lc_in_done")
+}
+
+// buildLCOutput emits the LC transmit path: only the primary writes the
+// TX mailbox and rings the doorbell.
+func buildLCOutput(b *asm.Builder) {
+	b.Syscall(kernel.SysGetRID)
+	b.Mov(kvS0, isa.RArg0)
+	b.Syscall(kernel.SysGetPrimary)
+	b.Mov(kvS1, isa.RArg0)
+	b.Bne(kvS0, kvS1, "lc_tx_skip")
+	b.Ld(8, kvS2, rBase, kvRespLenOff)
+	b.St(8, kvDMA, kvS2, txLenOffC)
+	b.Mov(kvS3, kvS2)
+	b.Addi(kvS4, kvDMA, txDataOffC)
+	b.Mov(kvS5, kvResp)
+	b.Memcpy(kvS3, kvS4, kvS5)
+	b.Li(kvS2, 1)
+	b.St(8, kvDMA, kvS2, txFlagOffC)
+	b.St(8, kvDev, kvS2, 0x08) // TX doorbell register
+	b.Label("lc_tx_skip")
+}
+
+// DMA mailbox offsets must match internal/device; duplicated as constants
+// here because guest code cannot import the device package's unexported
+// layout. Kept in sync by TestKVAppMailboxOffsets.
+const (
+	rxFlagOffC = 0x0000
+	rxLenOffC  = 0x0008
+	rxDataOffC = 0x0010
+	txFlagOffC = 0x1000
+	txLenOffC  = 0x1008
+	txDataOffC = 0x1010
+)
+
+// ftRead emits FT_Mem_Access(read, pa, va, size-in-reg-or-imm).
+func ftRead(b *asm.Builder, pa uint64, va uint64, size int32) {
+	b.Li(isa.RArg0, 0)
+	b.Li64(isa.RArg1, pa)
+	b.Li64(isa.RArg2, va)
+	b.Li(isa.RArg3, size)
+	b.Syscall(kernel.SysFTMemAccess)
+}
+
+// ftWrite emits FT_Mem_Access(write, pa, va, size).
+func ftWrite(b *asm.Builder, pa uint64, va uint64, size int32) {
+	b.Li(isa.RArg0, 1)
+	b.Li64(isa.RArg1, pa)
+	b.Li64(isa.RArg2, va)
+	b.Li(isa.RArg3, size)
+	b.Syscall(kernel.SysFTMemAccess)
+}
+
+// buildCCInput emits the CC driver's receive path: every device word is
+// read through FT_Mem_Access, so all replicas execute the identical
+// instruction stream and receive identical input (§III-E).
+func buildCCInput(b *asm.Builder, cfg KVConfig) {
+	ftRead(b, cfg.RxFlagPA, kernel.DataVA+kvScratchOff, 8)
+	b.Ld(8, kvS0, rBase, kvScratchOff)
+	b.St(8, rBase, isa.RZero, kvReqLenOff)
+	b.Beq(kvS0, isa.RZero, "cc_in_done")
+	ftRead(b, cfg.RxLenPA, kernel.DataVA+kvReqLenOff, 8)
+	b.Ld(8, kvS1, rBase, kvReqLenOff)
+	// Read the frame: the size is dynamic, so load it into R4 directly.
+	b.Li(isa.RArg0, 0)
+	b.Li64(isa.RArg1, cfg.RxDataPA)
+	b.Li64(isa.RArg2, kernel.DataVA+kvReqBufOff)
+	b.Mov(isa.RArg3, kvS1)
+	b.Syscall(kernel.SysFTMemAccess)
+	// Release the mailbox.
+	b.St(8, rBase, isa.RZero, kvScratchOff)
+	ftWrite(b, cfg.RxFlagPA, kernel.DataVA+kvScratchOff, 8)
+	b.Label("cc_in_done")
+}
+
+// buildCCOutput emits the CC transmit path through the kernel.
+func buildCCOutput(b *asm.Builder, cfg KVConfig) {
+	ftWrite(b, cfg.TxLenPA, kernel.DataVA+kvRespLenOff, 8)
+	b.Ld(8, kvS1, rBase, kvRespLenOff)
+	b.Li(isa.RArg0, 1)
+	b.Li64(isa.RArg1, cfg.TxDataPA)
+	b.Li64(isa.RArg2, kernel.DataVA+kvRespBufOff)
+	b.Mov(isa.RArg3, kvS1)
+	b.Syscall(kernel.SysFTMemAccess)
+	b.Li(kvS1, 1)
+	b.St(8, rBase, kvS1, kvScratchOff)
+	ftWrite(b, cfg.TxFlagPA, kernel.DataVA+kvScratchOff, 8)
+	ftWrite(b, cfg.DoorbellPA, kernel.DataVA+kvScratchOff, 8)
+}
+
+// buildKVProcess emits the request processor: parse the frame, FNV-1a
+// hash the key, probe the open-addressed table, and build the response.
+func buildKVProcess(b *asm.Builder, cfg KVConfig) {
+	b.Label("process")
+	b.Ld(1, kvOp, kvReq, 0)
+	b.Ld(1, kvKLen, kvReq, 1)
+	b.Ld(2, kvVLen, kvReq, 2)
+	b.Ld(4, kvRID, kvReq, 4)
+
+	// FNV-1a hash of the key.
+	b.Li64(kvSlot, 0xcbf29ce484222325)
+	b.Li(kvS0, 0)
+	b.Label("hash")
+	b.Bge(kvS0, kvKLen, "hashed")
+	b.Add(kvS1, kvReq, kvS0)
+	b.Ld(1, kvS2, kvS1, 8)
+	b.Xor(kvSlot, kvSlot, kvS2)
+	b.Li64(kvS2, 0x100000001b3)
+	b.Mul(kvSlot, kvSlot, kvS2)
+	b.Addi(kvS0, kvS0, 1)
+	b.J("hash")
+	b.Label("hashed")
+	// slot = table + (h & (slots-1)) * slotSize
+	b.Li64(kvS1, cfg.Slots-1)
+	b.And(kvSlot, kvSlot, kvS1)
+	b.Li64(kvS1, kvSlotSize)
+	b.Mul(kvSlot, kvSlot, kvS1)
+	b.Add(kvSlot, kvSlot, kvTab)
+
+	// SCAN takes the raw slot address; GET/SET probe for the key.
+	b.Li(kvS0, 3)
+	b.Beq(kvOp, kvS0, "do_scan")
+
+	// Linear probing, at most Slots probes.
+	b.Li(kvS0, 0) // probe counter
+	b.Label("probe")
+	b.Ld(8, kvS1, kvSlot, 0) // state word = key length, 0 if empty
+	b.Beq(kvS1, isa.RZero, "slot_empty")
+	b.Bne(kvS1, kvKLen, "next_slot")
+	b.Li(kvS2, 0)
+	b.Label("keycmp")
+	b.Bge(kvS2, kvKLen, "slot_found")
+	b.Add(kvS3, kvSlot, kvS2)
+	b.Ld(1, kvS4, kvS3, 8)
+	b.Add(kvS3, kvReq, kvS2)
+	b.Ld(1, kvS5, kvS3, 8)
+	b.Bne(kvS4, kvS5, "next_slot")
+	b.Addi(kvS2, kvS2, 1)
+	b.J("keycmp")
+	b.Label("next_slot")
+	b.Addi(kvSlot, kvSlot, kvSlotSize)
+	b.Bltu(kvSlot, kvTEnd, "probe_cont")
+	b.Mov(kvSlot, kvTab) // wrap around
+	b.Label("probe_cont")
+	b.Addi(kvS0, kvS0, 1)
+	b.Li64(kvS1, cfg.Slots)
+	b.Blt(kvS0, kvS1, "probe")
+	// Table full and key absent: treat as empty for SET, miss for GET.
+	b.Label("slot_empty")
+	b.Li(kvS0, 2)
+	b.Beq(kvOp, kvS0, "do_insert")
+	// GET miss.
+	b.Li(kvS0, 1) // status not-found
+	b.Li(kvS1, 0) // value length
+	b.J("respond")
+
+	b.Label("slot_found")
+	b.Li(kvS0, 2)
+	b.Beq(kvOp, kvS0, "do_update")
+	// GET hit: copy the stored value into the response.
+	b.Ld(8, kvS1, kvSlot, 40) // value length
+	b.Mov(kvS2, kvS1)
+	b.Addi(kvS3, kvResp, 8)
+	b.Addi(kvS4, kvSlot, kvValOff)
+	b.Memcpy(kvS2, kvS3, kvS4)
+	b.Li(kvS0, 0)
+	b.J("respond")
+
+	// SET on an existing key: overwrite the value.
+	b.Label("do_update")
+	b.J("write_value")
+	// SET on an empty slot: write the key first.
+	b.Label("do_insert")
+	b.St(8, kvSlot, kvKLen, 0)
+	b.Mov(kvS2, kvKLen)
+	b.Addi(kvS3, kvSlot, 8)
+	b.Addi(kvS4, kvReq, 8)
+	b.Memcpy(kvS2, kvS3, kvS4)
+	b.Label("write_value")
+	b.St(8, kvSlot, kvVLen, 40)
+	b.Mov(kvS2, kvVLen)
+	b.Addi(kvS3, kvSlot, kvValOff)
+	b.Add(kvS4, kvReq, kvKLen)
+	b.Addi(kvS4, kvS4, 8)
+	b.Memcpy(kvS2, kvS3, kvS4)
+	b.Li(kvS0, 0) // status OK
+	b.Li(kvS1, 0) // no value in response
+	b.J("respond")
+
+	// SCAN: touch `count` consecutive slots, folding their state words
+	// into an 8-byte digest (the read cost of a YCSB-E range scan).
+	b.Label("do_scan")
+	b.Li(kvS0, 0) // i
+	b.Li(kvS2, 0) // digest
+	b.Label("scan_loop")
+	b.Bge(kvS0, kvVLen, "scan_done")
+	b.Ld(8, kvS3, kvSlot, 0)
+	b.Xor(kvS2, kvS2, kvS3)
+	b.Ld(8, kvS3, kvSlot, 40)
+	b.Add(kvS2, kvS2, kvS3)
+	b.Addi(kvSlot, kvSlot, kvSlotSize)
+	b.Bltu(kvSlot, kvTEnd, "scan_cont")
+	b.Mov(kvSlot, kvTab)
+	b.Label("scan_cont")
+	b.Addi(kvS0, kvS0, 1)
+	b.J("scan_loop")
+	b.Label("scan_done")
+	b.St(8, kvResp, kvS2, 8)
+	b.Li(kvS0, 0)
+	b.Li(kvS1, 8)
+	b.J("respond")
+
+	// Build the response header: status, value length, request ID.
+	b.Label("respond")
+	b.St(1, kvResp, kvS0, 0)
+	b.St(1, kvResp, isa.RZero, 1)
+	b.St(2, kvResp, kvS1, 2)
+	b.St(4, kvResp, kvRID, 4)
+	b.Addi(kvS1, kvS1, 8)
+	b.St(8, rBase, kvS1, kvRespLenOff)
+	b.Ret()
+}

@@ -1,0 +1,177 @@
+package guest
+
+import (
+	"math"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+)
+
+// MD5 layout in the data region: the 16-byte digest is written at
+// DataVA+md5DigestOff; the padded message blocks start at DataVA+md5MsgOff.
+const (
+	md5DigestOff = 0
+	md5MsgOff    = 1024
+)
+
+// md5K is the standard MD5 sine-derived constant table.
+var md5K = func() [64]uint32 {
+	var k [64]uint32
+	for i := 0; i < 64; i++ {
+		k[i] = uint32(math.Floor(math.Abs(math.Sin(float64(i+1))) * (1 << 32)))
+	}
+	return k
+}()
+
+// md5S is the per-round rotation schedule.
+var md5S = [64]int32{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+// MD5Pad applies the standard MD5 padding to a message, returning the
+// padded buffer (a whole number of 64-byte blocks).
+func MD5Pad(msg []byte) []byte {
+	bitLen := uint64(len(msg)) * 8
+	out := append(append([]byte{}, msg...), 0x80)
+	for len(out)%64 != 56 {
+		out = append(out, 0)
+	}
+	for i := 0; i < 8; i++ {
+		out = append(out, byte(bitLen>>(8*i)))
+	}
+	return out
+}
+
+// MD5 builds a genuine MD5 implementation in the simulated ISA (the
+// md5sum workload of the register fault-injection study, Table VIII). The
+// main thread hashes `blocks` 64-byte blocks starting at
+// DataVA+md5MsgOff and stores the little-endian digest at DataVA. Like
+// the BusyBox original, the transform is a fully unrolled 64-step loop —
+// one long loop body per block, with every bit of state avalanche-
+// sensitive to register corruption.
+//
+// The caller supplies the padded message via Program.Data (use MD5Pad).
+func MD5(padded []byte) Program {
+	blocks := len(padded) / 64
+	data := make([]byte, md5MsgOff+len(padded))
+	copy(data[md5MsgOff:], padded)
+	return Program{
+		Name:      "md5",
+		DataBytes: uint64(len(data) + 4096),
+		Data:      data,
+		Stacks:    1,
+		Build:     func() *asm.Builder { return buildMD5(blocks) },
+	}
+}
+
+func buildMD5(blocks int) *asm.Builder {
+	const (
+		rA    = 10
+		rB    = 11
+		rC    = 12
+		rD    = 13
+		rF    = 14
+		rTmp  = 15
+		rTmp2 = 16
+		rMsg  = 17 // current block pointer
+		rBlk  = 18 // block counter
+		rNBlk = 19
+		rA0   = 22 // running state a0..d0
+		rB0   = 23
+		rC0   = 24
+		rD0   = 25
+	)
+	b := asm.New()
+	dataPtr(b, rBase)
+	b.Li64(rMask, 0xffffffff)
+	b.Li64(rA0, 0x67452301)
+	b.Li64(rB0, 0xefcdab89)
+	b.Li64(rC0, 0x98badcfe)
+	b.Li64(rD0, 0x10325476)
+	b.Addi(rMsg, rBase, md5MsgOff)
+	b.Li(rBlk, 0)
+	b.Li(rNBlk, int32(blocks))
+
+	b.Label("block")
+	b.Mov(rA, rA0)
+	b.Mov(rB, rB0)
+	b.Mov(rC, rC0)
+	b.Mov(rD, rD0)
+	for i := 0; i < 64; i++ {
+		var g int
+		switch {
+		case i < 16:
+			// F = (B & C) | (~B & D)
+			b.And(rF, rB, rC)
+			b.Xor(rTmp, rB, rMask) // ~B (32-bit)
+			b.And(rTmp, rTmp, rD)
+			b.Or(rF, rF, rTmp)
+			g = i
+		case i < 32:
+			// G = (D & B) | (~D & C)
+			b.And(rF, rD, rB)
+			b.Xor(rTmp, rD, rMask)
+			b.And(rTmp, rTmp, rC)
+			b.Or(rF, rF, rTmp)
+			g = (5*i + 1) % 16
+		case i < 48:
+			// H = B ^ C ^ D
+			b.Xor(rF, rB, rC)
+			b.Xor(rF, rF, rD)
+			g = (3*i + 5) % 16
+		default:
+			// I = C ^ (B | ~D)
+			b.Xor(rTmp, rD, rMask)
+			b.Or(rTmp, rB, rTmp)
+			b.Xor(rF, rC, rTmp)
+			g = (7 * i) % 16
+		}
+		// F += A + K[i] + M[g]
+		b.Add(rF, rF, rA)
+		b.Li64(rTmp, uint64(md5K[i]))
+		b.Add(rF, rF, rTmp)
+		b.Ld(4, rTmp, rMsg, int32(4*g))
+		b.Add(rF, rF, rTmp)
+		b.And(rF, rF, rMask)
+		// A = D; D = C; C = B; B += rotl32(F, s)
+		b.Mov(rTmp2, rD)
+		b.Mov(rD, rC)
+		b.Mov(rC, rB)
+		b.Shli(rTmp, rF, md5S[i])
+		b.And(rTmp, rTmp, rMask)
+		b.Shri(rF, rF, 32-md5S[i])
+		b.Or(rTmp, rTmp, rF)
+		b.Add(rB, rB, rTmp)
+		b.And(rB, rB, rMask)
+		b.Mov(rA, rTmp2)
+	}
+	// State += block result (mod 2^32).
+	b.Add(rA0, rA0, rA)
+	b.And(rA0, rA0, rMask)
+	b.Add(rB0, rB0, rB)
+	b.And(rB0, rB0, rMask)
+	b.Add(rC0, rC0, rC)
+	b.And(rC0, rC0, rMask)
+	b.Add(rD0, rD0, rD)
+	b.And(rD0, rD0, rMask)
+	b.Addi(rMsg, rMsg, 64)
+	b.Addi(rBlk, rBlk, 1)
+	b.Blt(rBlk, rNBlk, "block")
+
+	// Store the digest little-endian at DataVA.
+	b.St(4, rBase, rA0, md5DigestOff+0)
+	b.St(4, rBase, rB0, md5DigestOff+4)
+	b.St(4, rBase, rC0, md5DigestOff+8)
+	b.St(4, rBase, rD0, md5DigestOff+12)
+	// Contribute the digest to the state signature: the voting analogue
+	// of md5sum printing its result.
+	b.Li64(isa.RArg0, kernel.DataVA+md5DigestOff)
+	b.Li(isa.RArg1, 16)
+	b.Syscall(kernel.SysFTAddTrace)
+	exitWith(b, 0)
+	return b
+}

@@ -1,0 +1,178 @@
+package guest
+
+import (
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+)
+
+// Membench builds the memory-bandwidth benchmark of Table V: memcpy()
+// between two page-aligned buffers, each several times the last-level
+// cache size, repeated `reps` times. Replicas executing it concurrently
+// contend for the shared memory bus. The copy uses the rep-style MEMCPY
+// block instruction — the x86 memcpy() implementation.
+func Membench(bufBytes uint64, reps int64) Program {
+	return Program{
+		Name:      "membench",
+		DataBytes: 2*bufBytes + 8192,
+		Stacks:    1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			dataPtr(b, rBase)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(reps))
+			b.Label("rep")
+			b.Li64(rT0, bufBytes)      // length
+			b.Addi(rT1, rBase, 4096)   // dst
+			b.Li64(rT2, bufBytes+8192) // src offset
+			b.Add(rT2, rT2, rBase)     // src
+			b.Memcpy(rT0, rT1, rT2)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "rep")
+			exitWith(b, 0)
+			return b
+		},
+	}
+}
+
+// MembenchLoop is the Arm-flavoured memory-bandwidth benchmark: ordinary
+// word-copy loops, as an Armv7 memcpy() really compiles (no rep-family
+// instruction exists there), so compiler-assisted CC-RCoE can catch up
+// precisely inside the copy.
+func MembenchLoop(bufBytes uint64, reps int64) Program {
+	return Program{
+		Name:      "membench-loop",
+		DataBytes: 2*bufBytes + 8192,
+		Stacks:    1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			dataPtr(b, rBase)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(reps))
+			b.Label("rep")
+			b.Addi(rT1, rBase, 4096)   // dst cursor
+			b.Li64(rT2, bufBytes+8192) // src offset
+			b.Add(rT2, rT2, rBase)     // src cursor
+			b.Add(rT3, rT2, isa.RZero) // loop bound = src + len
+			b.Li64(rT4, bufBytes)
+			b.Add(rT3, rT3, rT4)
+			b.Label("copy")
+			// Copy 32 bytes per iteration, 8 at a time.
+			for off := int32(0); off < 32; off += 8 {
+				b.Ld(8, rT5, rT2, off)
+				b.St(8, rT1, rT5, off)
+			}
+			b.Addi(rT1, rT1, 32)
+			b.Addi(rT2, rT2, 32)
+			b.Bltu(rT2, rT3, "copy")
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "rep")
+			exitWith(b, 0)
+			return b
+		},
+	}
+}
+
+// DataRace builds the §V-A1 demonstrator: `threads` threads each loop
+// `iters` times reading a shared counter into a register, idling briefly,
+// incrementing the register, and writing it back — with no locking. Under
+// LC-RCoE the replicas preempt at different instructions and their final
+// counters diverge with high probability; under CC-RCoE preemption is
+// instruction-accurate and the replicas stay identical (though the value
+// still differs from the locked result).
+//
+// The final counter is stored at DataVA for cross-replica comparison.
+func DataRace(threads int, iters, idleLoops int64) Program {
+	return Program{
+		Name:      "datarace",
+		DataBytes: 4096,
+		Stacks:    threads + 1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			// Main thread: spawn the workers, then work too.
+			dataPtr(b, rBase)
+			b.Li(rT0, 1) // worker index
+			b.Li(rT1, int32(threads))
+			b.Label("spawn_loop")
+			b.Bge(rT0, rT1, "spawned")
+			b.LiLabel(1, "worker") // R1 = entry
+			// R2 = stack top for worker i: StackTopVA - i*StackSize.
+			b.Li64(rT2, kernel.StackTopVA)
+			b.Shli(rT3, rT0, 16) // i * 64 KiB
+			b.Sub(2, rT2, rT3)
+			b.Mov(3, rT0) // R3 = arg (thread index)
+			b.Syscall(kernel.SysSpawn)
+			b.Addi(rT0, rT0, 1)
+			b.J("spawn_loop")
+			b.Label("spawned")
+			b.Li(1, 0)
+			b.J("body")
+
+			// Worker entry (arg in R1, ignored).
+			b.Label("worker")
+			dataPtr(b, rBase)
+			b.Label("body")
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(iters))
+			b.Label("iter")
+			b.Ld(8, rT4, rBase, 0) // read shared counter
+			// Idle briefly with the value held in a register — the race
+			// window.
+			b.Li(rT5, 0)
+			b.Li64(rT6, uint64(idleLoops))
+			b.Label("idle")
+			b.Addi(rT5, rT5, 1)
+			b.Blt(rT5, rT6, "idle")
+			b.Addi(rT4, rT4, 1)    // increment the stale copy
+			b.St(8, rBase, rT4, 0) // write back (lost-update race)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "iter")
+			exitWith(b, 0)
+			return b
+		},
+	}
+}
+
+// AtomicCounter is the race-free variant of DataRace: the increment goes
+// through the kernel-mediated atomic system call, so it is correct under
+// both RCoE models (and is the required form for compiler-assisted
+// CC-RCoE instead of ldrex/strex loops, §III-D).
+func AtomicCounter(threads int, iters int64) Program {
+	return Program{
+		Name:      "atomic-counter",
+		DataBytes: 4096,
+		Stacks:    threads + 1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			dataPtr(b, rBase)
+			b.Li(rT0, 1)
+			b.Li(rT1, int32(threads))
+			b.Label("spawn_loop")
+			b.Bge(rT0, rT1, "spawned")
+			b.LiLabel(1, "worker")
+			b.Li64(rT2, kernel.StackTopVA)
+			b.Shli(rT3, rT0, 16)
+			b.Sub(2, rT2, rT3)
+			b.Mov(3, rT0)
+			b.Syscall(kernel.SysSpawn)
+			b.Addi(rT0, rT0, 1)
+			b.J("spawn_loop")
+			b.Label("spawned")
+			b.J("body")
+
+			b.Label("worker")
+			dataPtr(b, rBase)
+			b.Label("body")
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(iters))
+			b.Label("iter")
+			b.Li64(1, kernel.DataVA) // R1 = counter VA
+			b.Li(2, 1)               // R2 = delta
+			b.Syscall(kernel.SysAtomicAdd)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "iter")
+			exitWith(b, 0)
+			return b
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package guest
+
+import (
+	"rcoe/internal/asm"
+	"rcoe/internal/kernel"
+)
+
+// SplashKernel parameterises one SPLASH-2-style parallel scientific
+// kernel. The paper observes (Table IV) that CC-RCoE overhead in a VM is
+// driven by the share of time spent in *tight* loops — where breakpoint
+// catch-up is expensive — ranging from 1.09x (RAYTRACE, mostly
+// straight-line work) to 12x (CHOLESKY, dominated by tight loops). Each
+// kernel here mixes tight three-instruction loops with unrolled
+// straight-line blocks in the proportions that reproduce that spread.
+type SplashKernel struct {
+	Name string
+	// Outer is the number of outer iterations per thread.
+	Outer int64
+	// TightIters is the tight-loop trip count per outer iteration.
+	TightIters int64
+	// StraightOps is the number of unrolled arithmetic ops per outer
+	// iteration.
+	StraightOps int
+	// PaperFactor is the CC-D overhead factor reported in Table IV.
+	PaperFactor float64
+}
+
+// SplashSuite returns the fourteen kernels of Table IV. The tight/straight
+// mixes are tuned so the *relative* ordering and rough magnitudes match
+// the paper; absolute cycle counts are simulator-specific.
+func SplashSuite() []SplashKernel {
+	return []SplashKernel{
+		{Name: "BARNES", Outer: 60, TightIters: 120, StraightOps: 700, PaperFactor: 1.52},
+		{Name: "CHOLESKY", Outer: 60, TightIters: 2200, StraightOps: 60, PaperFactor: 12.08},
+		{Name: "FFT", Outer: 60, TightIters: 300, StraightOps: 600, PaperFactor: 2.22},
+		{Name: "FMM", Outer: 60, TightIters: 280, StraightOps: 620, PaperFactor: 2.11},
+		{Name: "LU-C", Outer: 60, TightIters: 1300, StraightOps: 160, PaperFactor: 6.83},
+		{Name: "LU-NC", Outer: 60, TightIters: 1150, StraightOps: 180, PaperFactor: 6.12},
+		{Name: "OCEAN-C", Outer: 60, TightIters: 420, StraightOps: 500, PaperFactor: 2.71},
+		{Name: "OCEAN-NC", Outer: 60, TightIters: 400, StraightOps: 510, PaperFactor: 2.65},
+		{Name: "RADIOSITY", Outer: 60, TightIters: 30, StraightOps: 850, PaperFactor: 1.12},
+		{Name: "RADIX", Outer: 60, TightIters: 80, StraightOps: 780, PaperFactor: 1.34},
+		{Name: "RAYTRACE", Outer: 60, TightIters: 12, StraightOps: 900, PaperFactor: 1.09},
+		{Name: "VOLREND", Outer: 60, TightIters: 130, StraightOps: 690, PaperFactor: 1.54},
+		{Name: "WATER-NS", Outer: 60, TightIters: 100, StraightOps: 740, PaperFactor: 1.41},
+		{Name: "WATER-S", Outer: 60, TightIters: 65, StraightOps: 800, PaperFactor: 1.25},
+	}
+}
+
+// Program builds the kernel for the given thread count (the paper's
+// NPROC). Threads work independently and re-join through thread exit; the
+// data region gives each thread a private accumulator slot.
+func (k SplashKernel) Program(nproc int) Program {
+	outer, tight, straight := k.Outer, k.TightIters, k.StraightOps
+	return Program{
+		Name:      "splash-" + k.Name,
+		DataBytes: 65536,
+		Stacks:    nproc + 1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			// Spawn nproc-1 workers; the main thread is worker 0.
+			b.Li(rT0, 1)
+			b.Li(rT1, int32(nproc))
+			b.Label("spawn")
+			b.Bge(rT0, rT1, "go")
+			b.LiLabel(1, "worker")
+			b.Li64(rT2, kernel.StackTopVA)
+			b.Shli(rT3, rT0, 16)
+			b.Sub(2, rT2, rT3)
+			b.Mov(3, rT0)
+			b.Syscall(kernel.SysSpawn)
+			b.Addi(rT0, rT0, 1)
+			b.J("spawn")
+			b.Label("go")
+			b.Li(1, 0)
+			b.Label("worker")
+			dataPtr(b, rBase)
+			// Private slot: DataVA + tid*64.
+			b.Shli(rT9, 1, 6)
+			b.Add(rBase, rBase, rT9)
+			b.Fconst(rT5, 1.000001)
+			b.Fconst(rT6, 0.999999)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(outer))
+			b.Label("outer")
+			// Tight phase: three-instruction FP loop.
+			b.Li(rT0, 0)
+			b.Li64(rT1, uint64(tight))
+			b.Label("tight")
+			b.Fmul(rT5, rT5, rT6)
+			b.Addi(rT0, rT0, 1)
+			b.Blt(rT0, rT1, "tight")
+			// Straight phase: unrolled arithmetic block.
+			for i := 0; i < straight/4; i++ {
+				b.Fmul(rT5, rT5, rT6)
+				b.Fadd(rT7, rT5, rT6)
+				b.Mul(rT8, rCnt, rCnt)
+				b.Xor(rT8, rT8, rT0)
+			}
+			b.St(8, rBase, rT5, 0)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "outer")
+			exitWith(b, 0)
+			return b
+		},
+	}
+}

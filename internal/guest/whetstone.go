@@ -1,0 +1,106 @@
+package guest
+
+import (
+	"rcoe/internal/asm"
+)
+
+// Whetstone builds the floating-point microbenchmark of Table II. It is
+// structured, like the original, as several *tight* loops (the classic
+// modules N1, N2, N3, N6, N7, N8), so a CC-RCoE synchronisation point is
+// very likely to land inside a tight loop — the worst case for the
+// breakpoint catch-up protocol, producing both the ~20% TMR overhead and
+// the high run-to-run variance the paper reports.
+func Whetstone(loops int64) Program {
+	return Program{
+		Name:      "whetstone",
+		DataBytes: 4096,
+		Stacks:    1,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			const (
+				fX  = rT0
+				fY  = rT1
+				fZ  = rT2
+				fC1 = rT3
+				fC2 = rT4
+				fT  = rT5
+			)
+			b.Fconst(fC1, 0.49999975)
+			b.Fconst(fC2, 2.0)
+			b.Fconst(fX, 1.0)
+			b.Fconst(fY, -1.0)
+			b.Fconst(fZ, -1.0)
+
+			// Module N1: simple identifiers — tight 4-op loop.
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops*4))
+			b.Label("n1")
+			b.Fadd(fT, fX, fY)
+			b.Fmul(fX, fT, fC1)
+			b.Fsub(fY, fX, fZ)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "n1")
+
+			// Module N2: array elements — tight loop with memory.
+			dataPtr(b, rBase)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops*3))
+			b.Label("n2")
+			b.Andi(rT6, rCnt, 31)
+			b.Shli(rT6, rT6, 3)
+			b.Add(rT6, rT6, rBase)
+			b.Ld(8, rT7, rT6, 0)
+			b.Fadd(rT7, rT7, fC1)
+			b.St(8, rT6, rT7, 0)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "n2")
+
+			// Module N3: trigonometric functions — tight, expensive ops.
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops))
+			b.Label("n3")
+			b.Fsin(fT, fX)
+			b.Fcos(rT6, fX)
+			b.Fadd(fX, fT, rT6)
+			b.Fatan(fX, fX)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "n3")
+
+			// Module N6: division-heavy loop.
+			b.Fconst(fX, 0.75)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops*2))
+			b.Label("n6")
+			b.Fdiv(fT, fC2, fX)
+			b.Fadd(fX, fT, fC1)
+			b.Fdiv(fX, fX, fC2)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "n6")
+
+			// Module N7: exp/log pairs.
+			b.Fconst(fX, 0.5)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops))
+			b.Label("n7")
+			b.Fexp(fT, fX)
+			b.Flog(fX, fT)
+			b.Fadd(fX, fX, fC1)
+			b.Fdiv(fX, fX, fC2)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "n7")
+
+			// Module N8: sqrt chain.
+			b.Fconst(fX, 75.0)
+			b.Li(rCnt, 0)
+			b.Li64(rEnd, uint64(loops*2))
+			b.Label("n8")
+			b.Fsqrt(fT, fX)
+			b.Fmul(fX, fT, fC2)
+			b.Addi(rCnt, rCnt, 1)
+			b.Blt(rCnt, rEnd, "n8")
+
+			exitWith(b, 0)
+			return b
+		},
+	}
+}

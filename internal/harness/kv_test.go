@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/machine"
+	"rcoe/internal/workload"
+)
+
+func kvOpts(mode core.Mode, reps int, kind workload.Kind) KVOptions {
+	return KVOptions{
+		System: core.Config{
+			Mode:       mode,
+			Replicas:   reps,
+			TickCycles: 50_000,
+		},
+		Workload:    kind,
+		Records:     40,
+		Operations:  60,
+		TraceOutput: true,
+		Seed:        7,
+	}
+}
+
+func TestKVBaseline(t *testing.T) {
+	res, err := RunKV(kvOpts(core.ModeNone, 1, workload.YCSBA))
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if res.Ops != 60 {
+		t.Fatalf("ops = %d, want 60", res.Ops)
+	}
+	if res.Corruptions != 0 || res.Errors != 0 {
+		t.Fatalf("fault-free run saw %d corruptions, %d errors", res.Corruptions, res.Errors)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestKVLCDMR(t *testing.T) {
+	res, err := RunKV(kvOpts(core.ModeLC, 2, workload.YCSBA))
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if res.Ops != 60 || res.Corruptions != 0 || res.Errors != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.HaltReason != "" {
+		t.Fatalf("halted: %s", res.HaltReason)
+	}
+}
+
+func TestKVLCTMR(t *testing.T) {
+	res, err := RunKV(kvOpts(core.ModeLC, 3, workload.YCSBB))
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if res.Ops != 60 || res.Corruptions != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestKVCCDMR(t *testing.T) {
+	res, err := RunKV(kvOpts(core.ModeCC, 2, workload.YCSBA))
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if res.Ops != 60 || res.Corruptions != 0 || res.Errors != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestKVCCArmCompilerAssisted(t *testing.T) {
+	opts := kvOpts(core.ModeCC, 2, workload.YCSBC)
+	opts.System.Profile = machine.Arm()
+	res, err := RunKV(opts)
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if res.Ops != 60 || res.Corruptions != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestKVLCSlowerThanBase(t *testing.T) {
+	base, err := RunKV(kvOpts(core.ModeNone, 1, workload.YCSBA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := RunKV(kvOpts(core.ModeLC, 2, workload.YCSBA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Throughput >= base.Throughput {
+		t.Fatalf("LC-D throughput %.2f >= base %.2f; replication should cost something",
+			lc.Throughput, base.Throughput)
+	}
+}
+
+func TestKVAllWorkloads(t *testing.T) {
+	for _, kind := range workload.AllKinds() {
+		res, err := RunKV(kvOpts(core.ModeLC, 2, kind))
+		if err != nil {
+			t.Fatalf("workload %v: %v (res=%+v)", kind, err, res)
+		}
+		if res.Ops != 60 {
+			t.Fatalf("workload %v: ops = %d", kind, res.Ops)
+		}
+	}
+}
+
+func TestKVSigConfigs(t *testing.T) {
+	for _, sig := range []core.SigConfig{core.SigIO, core.SigArgs, core.SigSync} {
+		opts := kvOpts(core.ModeLC, 2, workload.YCSBA)
+		opts.System.Sig = sig
+		res, err := RunKV(opts)
+		if err != nil {
+			t.Fatalf("sig %v: %v (res=%+v)", sig, err, res)
+		}
+		if res.Ops != 60 || res.Corruptions != 0 {
+			t.Fatalf("sig %v: bad result %+v", sig, res)
+		}
+	}
+}
+
+func TestKVClientRetransmits(t *testing.T) {
+	opts := kvOpts(core.ModeLC, 2, workload.YCSBA)
+	opts.RetryCycles = 200_000
+	run, err := NewKV(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the load phase start, then steal a frame from the RX mailbox
+	// (simulating the loss during a failover): the client must retry it.
+	run.StepChunk(50_000)
+	m := run.Sys.Machine()
+	_ = m.Mem().WriteU(run.NIC.RxFlagPA(), 8, 0) // drop the in-flight frame
+	res, err := run.Run()
+	if err != nil {
+		t.Fatalf("run after frame loss: %v (res=%+v)", err, res)
+	}
+	if res.Ops != opts.Operations {
+		t.Fatalf("ops = %d, want %d", res.Ops, opts.Operations)
+	}
+	if res.Corruptions != 0 {
+		t.Fatalf("corruptions after retry: %d", res.Corruptions)
+	}
+}

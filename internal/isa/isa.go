@@ -1,0 +1,303 @@
+// Package isa defines the instruction set executed by the simulated
+// multicore machine.
+//
+// The ISA is a 64-bit RISC-like design chosen to preserve the exact
+// implementation challenges the paper's CC-RCoE faces on real hardware:
+//
+//   - ordinary taken/non-taken control transfers that a PMU (or a compiler
+//     pass) must count to build the precise logical clock;
+//   - a rep-movs-style block-copy instruction (MEMCPY/MEMSET) that makes
+//     partial progress without executing branches, so a breakpoint at its
+//     address does not uniquely identify a point in the instruction stream
+//     (paper §III-D);
+//   - load-linked/store-conditional atomics whose retry loops execute a
+//     replica-dependent number of branches (the Armv7 ldrex/strex problem);
+//   - a compare-and-swap atomic for the x86-profile machines.
+//
+// Instructions are fixed-width, 8 bytes:
+//
+//	byte 0    opcode
+//	byte 1    rd
+//	byte 2    rs1
+//	byte 3    rs2
+//	bytes 4-7 imm32 (little-endian, sign-extended where used as a value)
+//
+// Branch and jump targets are absolute byte addresses carried in imm32.
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InstrBytes is the fixed encoded size of every instruction.
+const InstrBytes = 8
+
+// NumRegs is the size of the general register file.
+const NumRegs = 32
+
+// Register conventions. R0 reads as zero and ignores writes. RBC is the
+// register the compiler pass reserves for branch counting on machines
+// without a precise PMU (the paper's --ffixed-r9 analogue).
+const (
+	RZero = 0  // hardwired zero
+	RArg0 = 1  // first argument / syscall return
+	RArg1 = 2  // second argument
+	RArg2 = 3  // third argument
+	RArg3 = 4  // fourth argument
+	RBC   = 27 // reserved branch counter (compiler-assisted profile)
+	RTP   = 28 // thread pointer
+	RSP   = 29 // stack pointer
+	RLR   = 30 // link register
+	RAT   = 31 // assembler temporary
+)
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// Opcodes. The groups matter: IsBranch reports the control-transfer
+// opcodes that participate in branch counting, and IsBlockOp reports the
+// rep-style ops that make progress without counting.
+const (
+	OpInvalid Opcode = iota
+
+	// Integer register-register.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpDivu
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Integer register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSrai
+	OpSlti
+	OpLi  // rd = signext(imm32)
+	OpLih // rd = rd<<32 | uint32(imm32): builds 64-bit constants with Li
+
+	// Loads (zero-extending) and stores; address = rs1 + signext(imm).
+	OpLd1
+	OpLd2
+	OpLd4
+	OpLd8
+	OpSt1
+	OpSt2
+	OpSt4
+	OpSt8
+
+	// Control transfer. Conditional targets and OpJ/OpJal targets are
+	// absolute addresses in imm32.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJ
+	OpJal  // rd = pc+8; jump imm
+	OpJr   // jump rs1
+	OpJalr // rd = pc+8; jump rs1+imm
+
+	// Floating point; register bits are IEEE-754 binary64.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFsin
+	OpFcos
+	OpFexp
+	OpFlog
+	OpFatan
+	OpFcvtIF // rd = float(int64(rs1))
+	OpFcvtFI // rd = int64(float(rs1))
+	OpFlt    // rd = 1 if float(rs1) < float(rs2)
+	OpFle    // rd = 1 if float(rs1) <= float(rs2)
+	OpFeq    // rd = 1 if float(rs1) == float(rs2)
+
+	// Atomics.
+	OpLL   // rd = mem64[rs1]; acquire reservation
+	OpSC   // if reservation valid: mem64[rs1] = rs2, rd = 0; else rd = 1
+	OpCas  // tmp = mem64[rs1]; if tmp == rd { mem64[rs1] = rs2 }; rd = tmp
+	OpXadd // rd = mem64[rs1]; mem64[rs1] = rd + rs2
+
+	// Block operations (rep-family analogues): make bounded progress per
+	// machine step, keep PC at the instruction until done, count no
+	// branches. MEMCPY: rd = remaining length, rs1 = dst, rs2 = src
+	// (cursors advance in the registers). MEMSET: rd = remaining length,
+	// rs1 = dst, imm = fill byte.
+	OpMemcpy
+	OpMemset
+
+	// System.
+	OpSyscall // syscall number in imm; args in R1..R4; result in R1
+	OpNop
+	OpHlt
+
+	opLast // sentinel; keep last
+)
+
+var opNames = map[Opcode]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpDivu: "divu",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpShli: "shli", OpShri: "shri", OpSrai: "srai", OpSlti: "slti",
+	OpLi: "li", OpLih: "lih",
+	OpLd1: "ld1", OpLd2: "ld2", OpLd4: "ld4", OpLd8: "ld8",
+	OpSt1: "st1", OpSt2: "st2", OpSt4: "st4", OpSt8: "st8",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu", OpJ: "j", OpJal: "jal",
+	OpJr: "jr", OpJalr: "jalr",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFsqrt: "fsqrt", OpFsin: "fsin", OpFcos: "fcos", OpFexp: "fexp",
+	OpFlog: "flog", OpFatan: "fatan", OpFcvtIF: "fcvtif", OpFcvtFI: "fcvtfi",
+	OpFlt: "flt", OpFle: "fle", OpFeq: "feq",
+	OpLL: "ll", OpSC: "sc", OpCas: "cas", OpXadd: "xadd",
+	OpMemcpy: "memcpy", OpMemset: "memset",
+	OpSyscall: "syscall", OpNop: "nop", OpHlt: "hlt",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is a defined instruction.
+func (o Opcode) Valid() bool {
+	return o > OpInvalid && o < opLast && o != OpInvalid
+}
+
+// IsBranch reports whether the opcode is a control-transfer instruction
+// that participates in branch counting (PMU or compiler-inserted).
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJ, OpJal, OpJr, OpJalr:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Opcode) IsCondBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}
+
+// IsBlockOp reports whether the opcode is a rep-style block operation that
+// can be preempted mid-progress without having executed any branch.
+func (o Opcode) IsBlockOp() bool {
+	return o == OpMemcpy || o == OpMemset
+}
+
+// IsMemAccess reports whether the opcode reads or writes data memory.
+func (o Opcode) IsMemAccess() bool {
+	switch o {
+	case OpLd1, OpLd2, OpLd4, OpLd8, OpSt1, OpSt2, OpSt4, OpSt8,
+		OpLL, OpSC, OpCas, OpXadd, OpMemcpy, OpMemset:
+		return true
+	}
+	return false
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// String renders the instruction in assembly-like form.
+func (i Instr) String() string {
+	return fmt.Sprintf("%s r%d, r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
+}
+
+// ErrBadInstr is returned when decoding an invalid encoding; at runtime an
+// invalid instruction raises an illegal-instruction exception instead.
+var ErrBadInstr = errors.New("isa: invalid instruction encoding")
+
+// Encode packs the instruction into its 8-byte representation.
+func Encode(i Instr) [InstrBytes]byte {
+	var b [InstrBytes]byte
+	b[0] = uint8(i.Op)
+	b[1] = i.Rd
+	b[2] = i.Rs1
+	b[3] = i.Rs2
+	u := uint32(i.Imm)
+	b[4] = byte(u)
+	b[5] = byte(u >> 8)
+	b[6] = byte(u >> 16)
+	b[7] = byte(u >> 24)
+	return b
+}
+
+// Decode unpacks an 8-byte encoding. It returns ErrBadInstr for undefined
+// opcodes or out-of-range register fields (which arise when fault injection
+// corrupts instruction memory).
+func Decode(b []byte) (Instr, error) {
+	if len(b) < InstrBytes {
+		return Instr{}, fmt.Errorf("%w: short fetch (%d bytes)", ErrBadInstr, len(b))
+	}
+	i := Instr{
+		Op:  Opcode(b[0]),
+		Rd:  b[1],
+		Rs1: b[2],
+		Rs2: b[3],
+		Imm: int32(uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24),
+	}
+	if !i.Op.Valid() {
+		return Instr{}, fmt.Errorf("%w: opcode %d", ErrBadInstr, b[0])
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return Instr{}, fmt.Errorf("%w: register out of range", ErrBadInstr)
+	}
+	return i, nil
+}
+
+// EncodeProgram encodes a sequence of instructions into a flat image.
+func EncodeProgram(prog []Instr) []byte {
+	out := make([]byte, 0, len(prog)*InstrBytes)
+	for _, ins := range prog {
+		b := Encode(ins)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeProgram decodes a flat image back into instructions.
+func DecodeProgram(img []byte) ([]Instr, error) {
+	if len(img)%InstrBytes != 0 {
+		return nil, fmt.Errorf("%w: image size %d not a multiple of %d", ErrBadInstr, len(img), InstrBytes)
+	}
+	out := make([]Instr, 0, len(img)/InstrBytes)
+	for off := 0; off < len(img); off += InstrBytes {
+		ins, err := Decode(img[off : off+InstrBytes])
+		if err != nil {
+			return nil, fmt.Errorf("at offset %d: %w", off, err)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := Instr{Op: OpAddi, Rd: 5, Rs1: 7, Rs2: 0, Imm: -42}
+	b := Encode(ins)
+	got, err := Decode(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ins {
+		t.Fatalf("round trip = %+v, want %+v", got, ins)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	b := [InstrBytes]byte{0xEE, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := Decode(b[:]); err == nil {
+		t.Fatalf("invalid opcode accepted")
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	ins := Instr{Op: OpAdd, Rd: 40}
+	b := Encode(ins)
+	if _, err := Decode(b[:]); err == nil {
+		t.Fatalf("register 40 accepted")
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatalf("short fetch accepted")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	for _, op := range []Opcode{OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJ, OpJal, OpJr, OpJalr} {
+		if !op.IsBranch() {
+			t.Fatalf("%v should be a branch", op)
+		}
+	}
+	if OpAdd.IsBranch() || OpMemcpy.IsBranch() {
+		t.Fatalf("non-branches classified as branches")
+	}
+	if !OpBeq.IsCondBranch() || OpJ.IsCondBranch() {
+		t.Fatalf("conditional-branch classification wrong")
+	}
+	if !OpMemcpy.IsBlockOp() || !OpMemset.IsBlockOp() || OpLd8.IsBlockOp() {
+		t.Fatalf("block-op classification wrong")
+	}
+	for _, op := range []Opcode{OpLd1, OpSt8, OpLL, OpSC, OpCas, OpXadd, OpMemcpy} {
+		if !op.IsMemAccess() {
+			t.Fatalf("%v should access memory", op)
+		}
+	}
+	if OpAdd.IsMemAccess() || OpJ.IsMemAccess() {
+		t.Fatalf("non-memory ops classified as memory")
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpAdd.String() != "add" || OpMemcpy.String() != "memcpy" {
+		t.Fatalf("mnemonics wrong: %v %v", OpAdd, OpMemcpy)
+	}
+	if Opcode(200).String() == "" {
+		t.Fatalf("unknown opcode should still render")
+	}
+	if Opcode(200).Valid() || OpInvalid.Valid() {
+		t.Fatalf("invalid opcodes reported valid")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	prog := []Instr{
+		{Op: OpLi, Rd: 1, Imm: 7},
+		{Op: OpAdd, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: OpHlt},
+	}
+	img := EncodeProgram(prog)
+	if len(img) != 3*InstrBytes {
+		t.Fatalf("image size %d", len(img))
+	}
+	got, err := DecodeProgram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instr %d = %+v, want %+v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramRejectsRaggedImage(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, 12)); err == nil {
+		t.Fatalf("ragged image accepted")
+	}
+}
+
+// Property: any instruction with valid fields survives an encode/decode
+// round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		o := Opcode(op%uint8(opLast-1) + 1)
+		ins := Instr{Op: o, Rd: rd % NumRegs, Rs1: rs1 % NumRegs, Rs2: rs2 % NumRegs, Imm: imm}
+		b := Encode(ins)
+		got, err := Decode(b[:])
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package kernel
+
+import (
+	"testing"
+
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/machine"
+)
+
+func newTestKernel(t *testing.T) *Kernel {
+	t.Helper()
+	prof := machine.X86()
+	prof.JitterShift = 63
+	m := machine.New(prof, 8<<20)
+	k, err := New(0, m.Core(0), Layout{Base: 0x10000, Size: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func simpleProg(t *testing.T) []isa.Instr {
+	t.Helper()
+	b := asm.New()
+	b.Li(1, 7)
+	b.Syscall(SysExit)
+	prog, err := b.Assemble(TextVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestCanaryDetectsCorruption(t *testing.T) {
+	k := newTestKernel(t)
+	if !k.CheckCanary() {
+		t.Fatalf("fresh canary should verify")
+	}
+	if err := k.Core().Machine().Mem().FlipBit(k.Layout().CanaryPA()+16, 3); err != nil {
+		t.Fatal(err)
+	}
+	if k.CheckCanary() {
+		t.Fatalf("corrupted canary not detected")
+	}
+	if k.Err == nil {
+		t.Fatalf("kernel error not recorded")
+	}
+}
+
+func TestLoadProcessAndSchedule(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t), DataBytes: 4096, Arg: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Schedule() {
+		t.Fatalf("no thread scheduled")
+	}
+	c := k.Core()
+	if c.PC != TextVA {
+		t.Fatalf("PC = %#x, want %#x", c.PC, TextVA)
+	}
+	if c.Regs[isa.RArg0] != 42 {
+		t.Fatalf("arg = %d, want 42", c.Regs[isa.RArg0])
+	}
+	if c.Regs[isa.RSP] != StackTopVA {
+		t.Fatalf("sp = %#x", c.Regs[isa.RSP])
+	}
+}
+
+func TestContextRoundTripThroughRAM(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t)}); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule()
+	c := k.Core()
+	c.Regs[5] = 0xABCD
+	c.PC = TextVA + 8
+	k.SaveContext()
+	c.Regs[5] = 0
+	c.PC = 0
+	k.restoreContext(0)
+	if c.Regs[5] != 0xABCD || c.PC != TextVA+8 {
+		t.Fatalf("context did not round-trip: r5=%#x pc=%#x", c.Regs[5], c.PC)
+	}
+}
+
+func TestRegisterFaultInSavedContextTakesEffect(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t)}); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule()
+	c := k.Core()
+	c.Regs[5] = 8
+	k.SaveContext()
+	// Flip a bit in the saved R5 (the paper's register fault injection).
+	if err := c.Machine().Mem().FlipBit(k.Layout().CtxPA(0)+5*8, 1); err != nil {
+		t.Fatal(err)
+	}
+	k.restoreContext(0)
+	if c.Regs[5] != 10 {
+		t.Fatalf("restored r5 = %d, want 10 (bit 1 flipped)", c.Regs[5])
+	}
+}
+
+func TestPreemptRoundRobin(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t), Stacks: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Two more threads.
+	for i := 1; i < 3; i++ {
+		if _, err := k.CreateThread(TextVA, StackTopFor(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Schedule()
+	order := []int{k.CurrentTID()}
+	for i := 0; i < 5; i++ {
+		k.Preempt()
+		order = append(order, k.CurrentTID())
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round-robin order = %v, want %v", order, want)
+		}
+	}
+	if k.Preemptions != 5 {
+		t.Fatalf("preemption count = %d", k.Preemptions)
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t), Stacks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateThread(TextVA, StackTopFor(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule()
+	if !k.BlockCurrent(3) {
+		t.Fatalf("second thread should have been scheduled")
+	}
+	if k.CurrentTID() != 1 {
+		t.Fatalf("current = %d, want 1", k.CurrentTID())
+	}
+	if got := k.WakeIRQWaiters(4); got != 0 {
+		t.Fatalf("woke %d waiters on wrong line", got)
+	}
+	if got := k.WakeIRQWaiters(3); got != 1 {
+		t.Fatalf("woke %d waiters, want 1", got)
+	}
+	if k.Thread(0).State != ThreadReady {
+		t.Fatalf("thread 0 state = %v", k.Thread(0).State)
+	}
+}
+
+func TestExitAndDone(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t)}); err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule()
+	if k.Done() {
+		t.Fatalf("not done yet")
+	}
+	if k.ExitCurrent(7) {
+		t.Fatalf("nothing should be runnable after the only thread exits")
+	}
+	if !k.Done() {
+		t.Fatalf("should be done")
+	}
+	if k.Thread(0).ExitCode != 7 {
+		t.Fatalf("exit code = %d", k.Thread(0).ExitCode)
+	}
+}
+
+func TestEventCounterInRAM(t *testing.T) {
+	k := newTestKernel(t)
+	if k.EventCount() != 0 {
+		t.Fatalf("fresh event count = %d", k.EventCount())
+	}
+	k.BumpEvent()
+	k.BumpEvent()
+	if k.EventCount() != 2 {
+		t.Fatalf("event count = %d, want 2", k.EventCount())
+	}
+	// The counter genuinely lives in RAM: corrupting RAM changes it.
+	if err := k.Core().Machine().Mem().FlipBit(k.Layout().SigPA(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if k.EventCount() == 2 {
+		t.Fatalf("event counter is not stored in RAM")
+	}
+}
+
+func TestSignatureAccumulatesAndDiverges(t *testing.T) {
+	k1 := newTestKernel(t)
+	k2 := newTestKernel(t)
+	k1.AddTrace(1, 2, 3)
+	k2.AddTrace(1, 2, 3)
+	_, s1 := k1.Signature()
+	_, s2 := k2.Signature()
+	if s1 != s2 {
+		t.Fatalf("identical traces, different signatures: %#x vs %#x", s1, s2)
+	}
+	k2.AddTrace(99)
+	_, s2 = k2.Signature()
+	if s1 == s2 {
+		t.Fatalf("diverging traces give identical signatures")
+	}
+}
+
+func TestSignatureOrderSensitive(t *testing.T) {
+	k1 := newTestKernel(t)
+	k2 := newTestKernel(t)
+	k1.AddTrace(1)
+	k1.AddTrace(2)
+	k2.AddTrace(2)
+	k2.AddTrace(1)
+	_, s1 := k1.Signature()
+	_, s2 := k2.Signature()
+	if s1 == s2 {
+		t.Fatalf("signature not order sensitive")
+	}
+}
+
+func TestAddTraceBytesMatchesBetweenReplicas(t *testing.T) {
+	k1 := newTestKernel(t)
+	k2 := newTestKernel(t)
+	k1.AddTraceBytes([]byte("hello, replicated world"))
+	k2.AddTraceBytes([]byte("hello, replicated world"))
+	_, s1 := k1.Signature()
+	_, s2 := k2.Signature()
+	if s1 != s2 {
+		t.Fatalf("same bytes, different signatures")
+	}
+	k2.AddTraceBytes([]byte("hello, replicated worle"))
+	_, s2b := k2.Signature()
+	if s2b == s2 {
+		t.Fatalf("byte change not reflected")
+	}
+}
+
+func TestCopyUserRoundTrip(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t), DataBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("user data")
+	if err := k.CopyToUser(DataVA+16, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.CopyFromUser(DataVA+16, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("round trip = %q", got)
+	}
+	if _, err := k.CopyFromUser(0xDEAD_0000, 8); err == nil {
+		t.Fatalf("unmapped user read should fail")
+	}
+}
+
+func TestLoadProcessTooBig(t *testing.T) {
+	prof := machine.X86()
+	m := machine.New(prof, 8<<20)
+	k, err := New(0, m.Core(0), Layout{Base: 0x10000, Size: 0x30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = k.LoadProcess(ProcessConfig{Prog: simpleProg(t), DataBytes: 1 << 20})
+	if err == nil {
+		t.Fatalf("oversized process should fail to load")
+	}
+}
+
+func TestCreateThreadLimit(t *testing.T) {
+	k := newTestKernel(t)
+	if err := k.LoadProcess(ProcessConfig{Prog: simpleProg(t)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < MaxThreads; i++ {
+		if _, err := k.CreateThread(TextVA, StackTopFor(0), 0); err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+	}
+	if _, err := k.CreateThread(TextVA, StackTopFor(0), 0); err == nil {
+		t.Fatalf("thread table overflow not detected")
+	}
+}

@@ -1,0 +1,93 @@
+// Package kernel implements the per-replica microkernel: threads,
+// preemptive round-robin scheduling, system calls, exception handling, and
+// context save/restore through simulated RAM.
+//
+// The kernel is the mechanism layer; the replication policy — when to
+// synchronise, vote, deliver interrupts, or downgrade — lives in
+// internal/core, which drives the kernel through its exported methods.
+// This mirrors the paper's structure, where RCoE is a modification of the
+// seL4 kernel's event handling rather than a separate service.
+//
+// Critical kernel state lives in the replica's physical memory partition
+// (thread contexts, the event counter, the signature accumulator, and a
+// kernel-text canary), so the fault-injection campaigns of §V-C corrupt
+// the same structures they would on real hardware.
+package kernel
+
+import "rcoe/internal/isa"
+
+// Virtual address map for user processes. Every replica uses identical
+// virtual addresses, which is what allows instruction-pointer comparison
+// across replicas.
+const (
+	// TextVA is where program text is mapped.
+	TextVA uint64 = 0x0001_0000
+	// DataVA is the start of the user data/heap region.
+	DataVA uint64 = 0x0040_0000
+	// StackTopVA is the top of the first thread's stack; stacks for
+	// subsequent threads are placed below at StackSize intervals.
+	StackTopVA uint64 = 0x3FF0_0000
+	// StackSize is the per-thread stack size.
+	StackSize uint64 = 64 << 10
+	// SharedVA is where the cross-replica driver input region maps
+	// (the LC-RCoE augmented-Page_Map region, §III-E).
+	SharedVA uint64 = 0x8000_0000
+	// DMAVA is where the device DMA window maps in a driver.
+	DMAVA uint64 = 0xE000_0000
+	// DeviceVA is where device MMIO registers map in a driver.
+	DeviceVA uint64 = 0xF000_0000
+)
+
+// Kernel-region offsets within a replica's physical partition.
+const (
+	// canaryOff is the kernel-text stand-in: a page of known pattern
+	// verified on kernel entries; corruption models the paper's
+	// "corrupted kernel instructions" kernel exceptions.
+	canaryOff  uint64 = 0x0000
+	canarySize uint64 = 0x1000
+	// ctxOff is the thread-context save area: MaxThreads slots of
+	// CtxBytes each.
+	ctxOff uint64 = 0x1000
+	// sigOff holds the replica's event counter and signature
+	// accumulator (the "three-word signature", §III-C).
+	sigOff uint64 = 0x9000
+	// userOff is where user memory (text, then data, then stacks)
+	// begins inside the partition.
+	userOff uint64 = 0x10000
+)
+
+// MaxThreads is the per-replica thread-table size.
+const MaxThreads = 64
+
+// CtxWords is the context save-area size: 32 registers plus the PC.
+const CtxWords = isa.NumRegs + 1
+
+// CtxBytes is the byte size of one context slot.
+const CtxBytes = CtxWords * 8
+
+// Layout locates a replica's kernel structures in physical memory.
+type Layout struct {
+	// Base is the replica partition's physical base address.
+	Base uint64
+	// Size is the partition size.
+	Size uint64
+}
+
+// CanaryPA returns the kernel-text canary page address.
+func (l Layout) CanaryPA() uint64 { return l.Base + canaryOff }
+
+// CanarySize returns the canary page size.
+func (l Layout) CanarySize() uint64 { return canarySize }
+
+// CtxPA returns the physical address of thread tid's context slot.
+func (l Layout) CtxPA(tid int) uint64 { return l.Base + ctxOff + uint64(tid)*CtxBytes }
+
+// SigPA returns the address of the signature block: word 0 event count,
+// word 1 checksum lo, word 2 checksum hi, word 3 word count.
+func (l Layout) SigPA() uint64 { return l.Base + sigOff }
+
+// UserPA returns the physical base of user memory in the partition.
+func (l Layout) UserPA() uint64 { return l.Base + userOff }
+
+// UserSize returns the bytes available for user memory.
+func (l Layout) UserSize() uint64 { return l.Size - userOff }

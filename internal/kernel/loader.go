@@ -1,0 +1,95 @@
+package kernel
+
+import (
+	"fmt"
+
+	"rcoe/internal/isa"
+	"rcoe/internal/machine"
+)
+
+// ProcessConfig describes the single user process a replica runs. (RCoE
+// replicates a logical single-core system; one process with many threads
+// matches the paper's benchmark setups.)
+type ProcessConfig struct {
+	// Prog is the program, assembled at TextVA.
+	Prog []isa.Instr
+	// DataBytes is the size of the zero-initialised data region at DataVA.
+	DataBytes uint64
+	// Data optionally pre-populates the start of the data region.
+	Data []byte
+	// Arg is passed to the main thread in R1.
+	Arg uint64
+	// Stacks is the number of thread stacks to reserve (minimum 1).
+	Stacks int
+}
+
+// LoadProcess writes the program into the replica's partition, builds the
+// user address space, and creates the main thread.
+func (k *Kernel) LoadProcess(cfg ProcessConfig) error {
+	if len(cfg.Prog) == 0 {
+		return fmt.Errorf("kernel: empty program")
+	}
+	if cfg.Stacks < 1 {
+		cfg.Stacks = 1
+	}
+	if cfg.Stacks > MaxThreads {
+		return fmt.Errorf("kernel: %d stacks exceeds MaxThreads", cfg.Stacks)
+	}
+	img := isa.EncodeProgram(cfg.Prog)
+	textPA := k.lay.UserPA()
+	textSize := align(uint64(len(img)), 0x1000)
+	dataPA := textPA + textSize
+	dataSize := align(cfg.DataBytes, 0x1000)
+	if dataSize == 0 {
+		dataSize = 0x1000
+	}
+	stackBytes := uint64(cfg.Stacks) * StackSize
+	stackPA := dataPA + dataSize
+	if stackPA+stackBytes > k.lay.Base+k.lay.Size {
+		return fmt.Errorf("kernel: partition too small: need %#x, have %#x",
+			stackPA+stackBytes-k.lay.Base, k.lay.Size)
+	}
+	if err := k.m.Mem().Write(textPA, img); err != nil {
+		return fmt.Errorf("kernel: load text: %w", err)
+	}
+	if len(cfg.Data) > 0 {
+		if uint64(len(cfg.Data)) > dataSize {
+			return fmt.Errorf("kernel: initial data larger than data region")
+		}
+		if err := k.m.Mem().Write(dataPA, cfg.Data); err != nil {
+			return fmt.Errorf("kernel: load data: %w", err)
+		}
+	}
+	k.as = &machine.AddrSpace{Segs: []machine.Segment{
+		{VBase: TextVA, PBase: textPA, Size: textSize, Perm: machine.PermR | machine.PermX},
+		{VBase: DataVA, PBase: dataPA, Size: dataSize, Perm: machine.PermR | machine.PermW},
+		{VBase: StackTopVA - stackBytes, PBase: stackPA, Size: stackBytes, Perm: machine.PermR | machine.PermW},
+	}}
+	_, err := k.CreateThread(TextVA, StackTopVA, cfg.Arg)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// StackTopFor returns the stack top virtual address for thread slot i
+// under the loader's layout (slot 0 is the main thread).
+func StackTopFor(i int) uint64 {
+	return StackTopVA - uint64(i)*StackSize
+}
+
+// MapSegment appends a mapping to the user address space (used for the
+// cross-replica shared region, device MMIO, and DMA windows).
+func (k *Kernel) MapSegment(s machine.Segment) {
+	k.as.Segs = append(k.as.Segs, s)
+}
+
+// HasMapping reports whether a virtual address is already mapped.
+func (k *Kernel) HasMapping(va uint64) bool {
+	_, _, ok := k.as.Translate(va, 1, 0)
+	return ok
+}
+
+func align(v, a uint64) uint64 {
+	return (v + a - 1) &^ (a - 1)
+}

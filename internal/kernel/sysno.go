@@ -1,0 +1,57 @@
+package kernel
+
+// System call numbers. Arguments are passed in R1..R4 and the result is
+// returned in R1 (0 or a value; negative values are errors).
+//
+// SysFTAddTrace, SysFTMemAccess and SysFTMemRep are the paper's new
+// RCoE system calls (§III-C, §III-E); SysMapShared is the augmented
+// Page_Map that creates the cross-replica shared region for LC-RCoE
+// drivers; SysAtomicAdd is the kernel-mediated atomic update that replaces
+// ldrex/strex retry loops under compiler-assisted CC-RCoE (§III-D).
+const (
+	// SysExit terminates the calling thread; R1 = exit code.
+	SysExit int32 = 1
+	// SysYield reschedules the calling thread.
+	SysYield int32 = 2
+	// SysSpawn creates a thread: R1 = entry VA, R2 = stack top VA,
+	// R3 = argument. Returns the new TID.
+	SysSpawn int32 = 3
+	// SysAtomicAdd atomically adds R2 to the 64-bit word at VA R1 and
+	// returns the previous value.
+	SysAtomicAdd int32 = 4
+	// SysFTAddTrace folds the user buffer (R1 = VA, R2 = length) into
+	// the replica's state signature.
+	SysFTAddTrace int32 = 5
+	// SysFTMemAccess performs a device-memory access on behalf of a
+	// CC-RCoE driver: R1 = access type (0 read, 1 write), R2 = device
+	// physical address, R3 = user buffer VA, R4 = size.
+	SysFTMemAccess int32 = 6
+	// SysFTMemRep replicates a DMA input buffer: executed by the
+	// primary it copies the buffer (R1 = VA, R2 = size) to the shared
+	// region; executed by another replica it copies from the shared
+	// region into the caller's address space.
+	SysFTMemRep int32 = 7
+	// SysIRQWait blocks the calling thread until interrupt line R1 is
+	// delivered to this replica.
+	SysIRQWait int32 = 8
+	// SysPutc appends the low byte of R1 to the replica console.
+	SysPutc int32 = 9
+	// SysGetRID returns the calling replica's ID. Using it to branch is
+	// legal under LC-RCoE and forbidden under CC-RCoE (it necessarily
+	// diverges the instruction streams).
+	SysGetRID int32 = 10
+	// SysGetPrimary returns the current primary replica's ID.
+	SysGetPrimary int32 = 11
+	// SysMapShared maps the cross-replica shared driver region at
+	// SharedVA and returns that address.
+	SysMapShared int32 = 12
+	// SysMapDevice maps device MMIO at DeviceVA and the DMA window at
+	// DMAVA; R1 = device index. Only the primary's mapping reaches real
+	// device state.
+	SysMapDevice int32 = 13
+	// SysGetEvent returns the replica's deterministic event count.
+	SysGetEvent int32 = 14
+	// SysNull is a no-op used by microbenchmarks to measure syscall and
+	// synchronisation cost.
+	SysNull int32 = 15
+)

@@ -1,0 +1,726 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rcoe/internal/isa"
+)
+
+// MMIOHandler receives loads and stores that hit a device window.
+type MMIOHandler interface {
+	MMIORead(addr uint64, size int) uint64
+	MMIOWrite(addr uint64, size int, v uint64)
+}
+
+// Device is ticked once per global cycle so it can raise interrupts and
+// perform DMA.
+type Device interface {
+	Tick(m *Machine)
+}
+
+type mmioWindow struct {
+	base, size uint64
+	dev        MMIOHandler
+}
+
+// ErrTimeout is returned by RunUntil when the condition does not become
+// true within the cycle budget.
+var ErrTimeout = errors.New("machine: run timed out")
+
+// Machine is the simulated multicore system: cores, physical memory, the
+// shared bus, MMIO devices, and interrupt routing.
+type Machine struct {
+	prof    Profile
+	mem     *Mem
+	bus     *bus
+	cores   []*Core
+	handler TrapHandler
+	windows []mmioWindow
+	devices []Device
+
+	// irqRoute maps device interrupt lines to the core that receives
+	// them. RCoE routes all device interrupts to the primary replica and
+	// re-routes them when the primary is removed (§IV-A).
+	irqRoute [64]int
+
+	now uint64
+}
+
+// New creates a machine with the given profile and physical memory size.
+// The trap handler (the kernel) must be set with SetHandler before Run.
+func New(prof Profile, memBytes int) *Machine {
+	m := &Machine{
+		prof: prof,
+		mem:  NewMem(memBytes),
+		bus:  newBus(prof.BusBytesPerCycle),
+	}
+	for i := 0; i < prof.Cores; i++ {
+		c := &Core{
+			ID:         i,
+			State:      CoreHalted, // cores boot via StartCore
+			IntEnabled: true,
+			cache:      newCache(prof.CacheBytes, prof.CacheLine),
+			jitter:     uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			m:          m,
+		}
+		m.cores = append(m.cores, c)
+	}
+	return m
+}
+
+// SetHandler installs the kernel trap handler.
+func (m *Machine) SetHandler(h TrapHandler) { m.handler = h }
+
+// Profile returns the machine profile.
+func (m *Machine) Profile() Profile { return m.prof }
+
+// Mem returns physical memory.
+func (m *Machine) Mem() *Mem { return m.mem }
+
+// Now returns the global cycle count.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// StartCore boots a core at pc with the given address space.
+func (m *Machine) StartCore(id int, pc uint64, as *AddrSpace) {
+	c := m.cores[id]
+	c.PC = pc
+	c.AS = as
+	c.State = CoreRunning
+	c.FlushCache()
+}
+
+// MapMMIO registers a device register window at a physical address range
+// (conventionally above RAM).
+func (m *Machine) MapMMIO(base, size uint64, dev MMIOHandler) {
+	m.windows = append(m.windows, mmioWindow{base: base, size: size, dev: dev})
+}
+
+// AddDevice registers a device for per-cycle ticking.
+func (m *Machine) AddDevice(d Device) { m.devices = append(m.devices, d) }
+
+// RouteIRQ directs a device interrupt line to a core.
+func (m *Machine) RouteIRQ(line, coreID int) { m.irqRoute[line] = coreID }
+
+// IRQRoute returns the core a line is routed to.
+func (m *Machine) IRQRoute(line int) int { return m.irqRoute[line] }
+
+// RaiseIRQ asserts a device interrupt line; it is latched on the routed
+// core until acknowledged.
+func (m *Machine) RaiseIRQ(line int) {
+	c := m.cores[m.irqRoute[line]]
+	c.pendingIRQ |= 1 << uint(line)
+}
+
+// SendIPI latches an inter-processor interrupt on the target core; the
+// cost model charges the IPI latency as a stall on the receiver.
+func (m *Machine) SendIPI(to int) {
+	c := m.cores[to]
+	if !c.pendingIPI {
+		c.pendingIPI = true
+		c.AddStall(m.prof.Costs.IPILatency)
+	}
+}
+
+func (m *Machine) mmioAt(pa uint64) (MMIOHandler, bool) {
+	for _, w := range m.windows {
+		if pa >= w.base && pa < w.base+w.size {
+			return w.dev, true
+		}
+	}
+	return nil, false
+}
+
+// PhysReadU reads a value from physical memory or an MMIO window; the
+// kernel uses this for FT_Mem_Access.
+func (m *Machine) PhysReadU(pa uint64, size int) (uint64, error) {
+	if dev, ok := m.mmioAt(pa); ok {
+		return dev.MMIORead(pa, size), nil
+	}
+	return m.mem.ReadU(pa, size)
+}
+
+// PhysWriteU writes a value to physical memory or an MMIO window.
+func (m *Machine) PhysWriteU(pa uint64, size int, v uint64) error {
+	if dev, ok := m.mmioAt(pa); ok {
+		dev.MMIOWrite(pa, size, v)
+		return nil
+	}
+	return m.mem.WriteU(pa, size, v)
+}
+
+// Step advances the machine by one global cycle. The core service order
+// rotates every cycle so that bus arbitration is fair: a fixed order
+// would systematically favour low-numbered cores during miss bursts and
+// skew otherwise-identical replicas apart.
+func (m *Machine) Step() {
+	m.now++
+	m.bus.tick()
+	for _, d := range m.devices {
+		d.Tick(m)
+	}
+	n := len(m.cores)
+	first := int(m.now) % n
+	for i := 0; i < n; i++ {
+		m.advance(m.cores[(first+i)%n])
+	}
+}
+
+// Run advances the machine by n cycles.
+func (m *Machine) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.Step()
+	}
+}
+
+// RunUntil steps the machine until cond returns true, or fails with
+// ErrTimeout after maxCycles.
+func (m *Machine) RunUntil(cond func() bool, maxCycles uint64) error {
+	start := m.now
+	for !cond() {
+		if m.now-start >= maxCycles {
+			return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
+		}
+		m.Step()
+	}
+	return nil
+}
+
+// AllHalted reports whether every core is halted or offline.
+func (m *Machine) AllHalted() bool {
+	for _, c := range m.cores {
+		if c.State == CoreRunning || c.State == CoreParked {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) advance(c *Core) {
+	switch c.State {
+	case CoreHalted, CoreOffline:
+		return
+	case CoreParked:
+		c.Cycles++
+		// Kernel work charged just before parking (e.g. the final debug
+		// exception of a catch-up) overlaps the barrier spin: consume it
+		// while waiting, so release resumes user code without a stale
+		// stall that would systematically skew this replica behind its
+		// peers on every synchronisation.
+		if c.stall > 0 {
+			c.stall--
+		}
+		if c.parkCond != nil && c.parkCond() {
+			done := c.parkDone
+			c.State = CoreRunning
+			c.parkCond, c.parkDone = nil, nil
+			if done != nil {
+				done()
+			}
+		}
+		return
+	}
+	c.Cycles++
+	if c.stall > 0 {
+		c.stall--
+		return
+	}
+	if c.nextJitter(m.prof.JitterShift) {
+		return
+	}
+	if c.IntEnabled && (c.pendingIRQ != 0 || c.pendingIPI) {
+		c.AddStall(m.prof.Costs.IRQDeliver)
+		m.trap(c, Trap{Kind: TrapIRQ, PC: c.PC})
+		return
+	}
+	if DebugPCWatch != nil {
+		DebugPCWatch(c.ID, c.PC, c.BP.Addr, c.BP.Enabled, c.SingleStep, m.now)
+	}
+	if c.BP.Enabled && c.PC == c.BP.Addr && !c.ResumeOnce {
+		m.trap(c, Trap{Kind: TrapBreakpoint, PC: c.PC})
+		return
+	}
+	m.execOne(c)
+}
+
+// DebugTrace, when non-nil, observes every trap (tests only).
+var DebugTrace func(coreID int, kind TrapKind, pc uint64, now uint64)
+
+// DebugPCWatch, when non-nil, observes every issue opportunity (tests
+// only).
+var DebugPCWatch func(coreID int, pc, bpAddr uint64, bpEnabled, singleStep bool, now uint64)
+
+// trap hands control to the kernel. The handler mutates the core and
+// returns; user execution resumes on a later cycle (after any stall the
+// handler charged).
+func (m *Machine) trap(c *Core, t Trap) {
+	if DebugTrace != nil {
+		DebugTrace(c.ID, t.Kind, t.PC, m.now)
+	}
+	c.AddStall(m.prof.Costs.KernelEntry)
+	if m.handler != nil {
+		m.handler.HandleTrap(c, t)
+	}
+}
+
+// execOne fetches, decodes and executes one instruction on c. Bus
+// exhaustion leaves the core at the same PC to retry next cycle.
+func (m *Machine) execOne(c *Core) {
+	pa, _, ok := c.AS.Translate(c.PC, isa.InstrBytes, PermX)
+	if !ok {
+		m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
+		return
+	}
+	if !c.memAccess(pa, isa.InstrBytes, false) {
+		return // bus stall on fetch
+	}
+	raw, err := m.mem.Read(pa, isa.InstrBytes)
+	if err != nil {
+		m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
+		return
+	}
+	ins, err := isa.Decode(raw)
+	if err != nil {
+		m.trap(c, Trap{Kind: TrapIllegal, Addr: c.PC, PC: c.PC})
+		return
+	}
+	atBP := c.BP.Enabled && c.PC == c.BP.Addr
+	prevPC := c.PC
+	branchesBefore := c.UserBranches
+	if !m.exec(c, ins) {
+		return // bus stall mid-instruction; retry
+	}
+	c.Instructions++
+	if c.BranchWatch.Enabled && c.UserBranches != branchesBefore &&
+		c.UserBranches >= c.BranchWatch.Target {
+		c.BranchWatch.Enabled = false
+		m.trap(c, Trap{Kind: TrapBranchWatch, PC: c.PC})
+		return
+	}
+	// The resume flag and single-step act at *instruction* granularity: a
+	// rep-style block operation that keeps PC in place is still the same
+	// instruction, so the breakpoint stays suppressed and the step trap
+	// waits until the instruction completes (x86 RF semantics; the paper's
+	// §III-D rep-prefix discussion).
+	completed := c.PC != prevPC
+	if atBP && c.ResumeOnce && completed {
+		c.ResumeOnce = false
+	}
+	if c.SingleStep && completed {
+		c.SingleStep = false
+		m.trap(c, Trap{Kind: TrapSingleStep, PC: c.PC})
+	}
+}
+
+// exec executes a decoded instruction; it returns false if the core must
+// retry the same instruction next cycle (bus stall). All architectural
+// side effects happen only on the true path.
+func (m *Machine) exec(c *Core, ins isa.Instr) bool {
+	cost := m.prof.Costs
+	nextPC := c.PC + isa.InstrBytes
+	switch ins.Op {
+	case isa.OpAdd:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)+c.reg(ins.Rs2))
+	case isa.OpSub:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)-c.reg(ins.Rs2))
+	case isa.OpMul:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)*c.reg(ins.Rs2))
+		c.AddStall(cost.Mul - 1)
+	case isa.OpDiv:
+		d := int64(c.reg(ins.Rs2))
+		if d == 0 {
+			m.trap(c, Trap{Kind: TrapDivZero, PC: c.PC})
+			return true
+		}
+		n := int64(c.reg(ins.Rs1))
+		if n == math.MinInt64 && d == -1 {
+			c.setReg(ins.Rd, uint64(n))
+		} else {
+			c.setReg(ins.Rd, uint64(n/d))
+		}
+		c.AddStall(cost.Div - 1)
+	case isa.OpDivu:
+		d := c.reg(ins.Rs2)
+		if d == 0 {
+			m.trap(c, Trap{Kind: TrapDivZero, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, c.reg(ins.Rs1)/d)
+		c.AddStall(cost.Div - 1)
+	case isa.OpRem:
+		d := c.reg(ins.Rs2)
+		if d == 0 {
+			m.trap(c, Trap{Kind: TrapDivZero, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, c.reg(ins.Rs1)%d)
+		c.AddStall(cost.Div - 1)
+	case isa.OpAnd:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)&c.reg(ins.Rs2))
+	case isa.OpOr:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)|c.reg(ins.Rs2))
+	case isa.OpXor:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)^c.reg(ins.Rs2))
+	case isa.OpShl:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)<<(c.reg(ins.Rs2)&63))
+	case isa.OpShr:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)>>(c.reg(ins.Rs2)&63))
+	case isa.OpSra:
+		c.setReg(ins.Rd, uint64(int64(c.reg(ins.Rs1))>>(c.reg(ins.Rs2)&63)))
+	case isa.OpSlt:
+		c.setReg(ins.Rd, b2u(int64(c.reg(ins.Rs1)) < int64(c.reg(ins.Rs2))))
+	case isa.OpSltu:
+		c.setReg(ins.Rd, b2u(c.reg(ins.Rs1) < c.reg(ins.Rs2)))
+
+	case isa.OpAddi:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)+uint64(int64(ins.Imm)))
+	case isa.OpAndi:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)&uint64(int64(ins.Imm)))
+	case isa.OpOri:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)|uint64(int64(ins.Imm)))
+	case isa.OpXori:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)^uint64(int64(ins.Imm)))
+	case isa.OpShli:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)<<(uint32(ins.Imm)&63))
+	case isa.OpShri:
+		c.setReg(ins.Rd, c.reg(ins.Rs1)>>(uint32(ins.Imm)&63))
+	case isa.OpSrai:
+		c.setReg(ins.Rd, uint64(int64(c.reg(ins.Rs1))>>(uint32(ins.Imm)&63)))
+	case isa.OpSlti:
+		c.setReg(ins.Rd, b2u(int64(c.reg(ins.Rs1)) < int64(ins.Imm)))
+	case isa.OpLi:
+		c.setReg(ins.Rd, uint64(int64(ins.Imm)))
+	case isa.OpLih:
+		c.setReg(ins.Rd, c.reg(ins.Rd)<<32|uint64(uint32(ins.Imm)))
+
+	case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8:
+		size := loadSize(ins.Op)
+		va := c.reg(ins.Rs1) + uint64(int64(ins.Imm))
+		pa, _, ok := c.AS.Translate(va, size, PermR)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if dev, isMMIO := m.mmioAt(pa); isMMIO {
+			c.setReg(ins.Rd, dev.MMIORead(pa, size))
+			c.AddStall(cost.MemMiss)
+			break
+		}
+		if !c.memAccess(pa, size, false) {
+			return false
+		}
+		v, err := m.mem.ReadU(pa, size)
+		if err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, v)
+
+	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
+		size := storeSize(ins.Op)
+		va := c.reg(ins.Rs1) + uint64(int64(ins.Imm))
+		pa, _, ok := c.AS.Translate(va, size, PermW)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if dev, isMMIO := m.mmioAt(pa); isMMIO {
+			dev.MMIOWrite(pa, size, c.reg(ins.Rs2))
+			c.AddStall(cost.MemMiss)
+			break
+		}
+		if !c.memAccess(pa, size, true) {
+			return false
+		}
+		if err := m.mem.WriteU(pa, size, c.reg(ins.Rs2)); err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		c.UserBranches++
+		if condTaken(ins.Op, c.reg(ins.Rs1), c.reg(ins.Rs2)) {
+			nextPC = uint64(uint32(ins.Imm))
+		}
+	case isa.OpJ:
+		c.UserBranches++
+		nextPC = uint64(uint32(ins.Imm))
+	case isa.OpJal:
+		c.UserBranches++
+		c.setReg(ins.Rd, c.PC+isa.InstrBytes)
+		nextPC = uint64(uint32(ins.Imm))
+	case isa.OpJr:
+		c.UserBranches++
+		nextPC = c.reg(ins.Rs1)
+	case isa.OpJalr:
+		c.UserBranches++
+		c.setReg(ins.Rd, c.PC+isa.InstrBytes)
+		nextPC = c.reg(ins.Rs1) + uint64(int64(ins.Imm))
+
+	case isa.OpFadd:
+		c.setReg(ins.Rd, bits(f64(c.reg(ins.Rs1))+f64(c.reg(ins.Rs2))))
+		c.AddStall(cost.FPSimple - 1)
+	case isa.OpFsub:
+		c.setReg(ins.Rd, bits(f64(c.reg(ins.Rs1))-f64(c.reg(ins.Rs2))))
+		c.AddStall(cost.FPSimple - 1)
+	case isa.OpFmul:
+		c.setReg(ins.Rd, bits(f64(c.reg(ins.Rs1))*f64(c.reg(ins.Rs2))))
+		c.AddStall(cost.FPSimple - 1)
+	case isa.OpFdiv:
+		c.setReg(ins.Rd, bits(f64(c.reg(ins.Rs1))/f64(c.reg(ins.Rs2))))
+		c.AddStall(cost.FPDiv - 1)
+	case isa.OpFsqrt:
+		c.setReg(ins.Rd, bits(math.Sqrt(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPDiv - 1)
+	case isa.OpFsin:
+		c.setReg(ins.Rd, bits(math.Sin(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPTrans - 1)
+	case isa.OpFcos:
+		c.setReg(ins.Rd, bits(math.Cos(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPTrans - 1)
+	case isa.OpFexp:
+		c.setReg(ins.Rd, bits(math.Exp(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPTrans - 1)
+	case isa.OpFlog:
+		c.setReg(ins.Rd, bits(math.Log(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPTrans - 1)
+	case isa.OpFatan:
+		c.setReg(ins.Rd, bits(math.Atan(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPTrans - 1)
+	case isa.OpFcvtIF:
+		c.setReg(ins.Rd, bits(float64(int64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPSimple - 1)
+	case isa.OpFcvtFI:
+		c.setReg(ins.Rd, uint64(int64(f64(c.reg(ins.Rs1)))))
+		c.AddStall(cost.FPSimple - 1)
+	case isa.OpFlt:
+		c.setReg(ins.Rd, b2u(f64(c.reg(ins.Rs1)) < f64(c.reg(ins.Rs2))))
+	case isa.OpFle:
+		c.setReg(ins.Rd, b2u(f64(c.reg(ins.Rs1)) <= f64(c.reg(ins.Rs2))))
+	case isa.OpFeq:
+		c.setReg(ins.Rd, b2u(f64(c.reg(ins.Rs1)) == f64(c.reg(ins.Rs2))))
+
+	case isa.OpLL:
+		va := c.reg(ins.Rs1)
+		pa, _, ok := c.AS.Translate(va, 8, PermR)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if !c.memAccess(pa, 8, false) {
+			return false
+		}
+		v, err := m.mem.ReadU(pa, 8)
+		if err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, v)
+		c.llAddr, c.llValid = pa, true
+	case isa.OpSC:
+		va := c.reg(ins.Rs1)
+		pa, _, ok := c.AS.Translate(va, 8, PermW)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if !c.llValid || c.llAddr != pa {
+			c.setReg(ins.Rd, 1) // reservation lost
+			break
+		}
+		if !c.memAccess(pa, 8, true) {
+			return false
+		}
+		if err := m.mem.WriteU(pa, 8, c.reg(ins.Rs2)); err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		c.llValid = false
+		c.setReg(ins.Rd, 0)
+	case isa.OpCas:
+		va := c.reg(ins.Rs1)
+		pa, _, ok := c.AS.Translate(va, 8, PermR|PermW)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if !c.memAccess(pa, 8, true) {
+			return false
+		}
+		old, err := m.mem.ReadU(pa, 8)
+		if err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if old == c.reg(ins.Rd) {
+			if err := m.mem.WriteU(pa, 8, c.reg(ins.Rs2)); err != nil {
+				m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+				return true
+			}
+		}
+		c.setReg(ins.Rd, old)
+		c.AddStall(cost.Mul) // locked-op cost
+	case isa.OpXadd:
+		va := c.reg(ins.Rs1)
+		pa, _, ok := c.AS.Translate(va, 8, PermR|PermW)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if !c.memAccess(pa, 8, true) {
+			return false
+		}
+		old, err := m.mem.ReadU(pa, 8)
+		if err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if err := m.mem.WriteU(pa, 8, old+c.reg(ins.Rs2)); err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, old)
+		c.AddStall(cost.Mul)
+
+	case isa.OpMemcpy:
+		remaining := c.reg(ins.Rd)
+		if remaining == 0 {
+			break // done; fall through to PC advance
+		}
+		chunk := uint64(m.prof.MemCopyChunk)
+		if remaining < chunk {
+			chunk = remaining
+		}
+		dstVA, srcVA := c.reg(ins.Rs1), c.reg(ins.Rs2)
+		dstPA, _, okD := c.AS.Translate(dstVA, int(chunk), PermW)
+		srcPA, _, okS := c.AS.Translate(srcVA, int(chunk), PermR)
+		if !okD || !okS {
+			va := dstVA
+			if !okS {
+				va = srcVA
+			}
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
+			return true
+		}
+		if !c.streamAccess(srcPA, dstPA, int(chunk)) {
+			return false
+		}
+		buf, err := m.mem.Read(srcPA, int(chunk))
+		if err == nil {
+			err = m.mem.Write(dstPA, buf)
+		}
+		if err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: dstVA, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, remaining-chunk)
+		c.setReg(ins.Rs1, dstVA+chunk)
+		c.setReg(ins.Rs2, srcVA+chunk)
+		if remaining-chunk > 0 {
+			nextPC = c.PC // rep-style: stay on the instruction
+		}
+
+	case isa.OpMemset:
+		remaining := c.reg(ins.Rd)
+		if remaining == 0 {
+			break
+		}
+		chunk := uint64(m.prof.MemCopyChunk)
+		if remaining < chunk {
+			chunk = remaining
+		}
+		dstVA := c.reg(ins.Rs1)
+		dstPA, _, ok := c.AS.Translate(dstVA, int(chunk), PermW)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: dstVA, PC: c.PC})
+			return true
+		}
+		if !c.streamAccess(^uint64(0), dstPA, int(chunk)) {
+			return false
+		}
+		fill := make([]byte, chunk)
+		for i := range fill {
+			fill[i] = byte(ins.Imm)
+		}
+		if err := m.mem.Write(dstPA, fill); err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: dstVA, PC: c.PC})
+			return true
+		}
+		c.setReg(ins.Rd, remaining-chunk)
+		c.setReg(ins.Rs1, dstVA+chunk)
+		if remaining-chunk > 0 {
+			nextPC = c.PC
+		}
+
+	case isa.OpSyscall:
+		c.PC = nextPC // syscall returns to the following instruction
+		m.trap(c, Trap{Kind: TrapSyscall, Num: ins.Imm, PC: c.PC})
+		return true
+	case isa.OpNop:
+	case isa.OpHlt:
+		m.trap(c, Trap{Kind: TrapHalt, PC: c.PC})
+		return true
+	default:
+		m.trap(c, Trap{Kind: TrapIllegal, PC: c.PC})
+		return true
+	}
+	c.PC = nextPC
+	return true
+}
+
+func loadSize(op isa.Opcode) int {
+	switch op {
+	case isa.OpLd1:
+		return 1
+	case isa.OpLd2:
+		return 2
+	case isa.OpLd4:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func storeSize(op isa.Opcode) int {
+	switch op {
+	case isa.OpSt1:
+		return 1
+	case isa.OpSt2:
+		return 2
+	case isa.OpSt4:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func condTaken(op isa.Opcode, a, b uint64) bool {
+	switch op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return int64(a) < int64(b)
+	case isa.OpBge:
+		return int64(a) >= int64(b)
+	case isa.OpBltu:
+		return a < b
+	default: // OpBgeu
+		return a >= b
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

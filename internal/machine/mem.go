@@ -1,0 +1,198 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadPhysAddr is returned for physical accesses outside RAM that hit no
+// MMIO window.
+var ErrBadPhysAddr = errors.New("machine: physical address out of range")
+
+// Mem is the machine's physical memory. Reads and writes are raw; cache
+// and bus accounting happen in the core stepping path, not here, so
+// devices (DMA) and fault injectors can touch memory without disturbing
+// the cost model.
+type Mem struct {
+	bytes []byte
+}
+
+// NewMem allocates size bytes of zeroed physical memory.
+func NewMem(size int) *Mem {
+	return &Mem{bytes: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Mem) Size() uint64 { return uint64(len(m.bytes)) }
+
+func (m *Mem) check(addr uint64, n int) error {
+	if addr+uint64(n) > uint64(len(m.bytes)) || addr+uint64(n) < addr {
+		return fmt.Errorf("%w: [%#x,+%d)", ErrBadPhysAddr, addr, n)
+	}
+	return nil
+}
+
+// Read copies n bytes starting at addr into a fresh slice.
+func (m *Mem) Read(addr uint64, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.bytes[addr:])
+	return out, nil
+}
+
+// Write copies b into memory at addr.
+func (m *Mem) Write(addr uint64, b []byte) error {
+	if err := m.check(addr, len(b)); err != nil {
+		return err
+	}
+	copy(m.bytes[addr:], b)
+	return nil
+}
+
+// ReadU reads an unsigned little-endian value of size 1, 2, 4 or 8.
+func (m *Mem) ReadU(addr uint64, size int) (uint64, error) {
+	if err := m.check(addr, size); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.bytes[addr+uint64(i)])
+	}
+	return v, nil
+}
+
+// WriteU writes an unsigned little-endian value of size 1, 2, 4 or 8.
+func (m *Mem) WriteU(addr uint64, size int, v uint64) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	for i := 0; i < size; i++ {
+		m.bytes[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// FlipBit inverts a single bit, used by the fault injector. bit is the
+// absolute bit index within the byte at addr.
+func (m *Mem) FlipBit(addr uint64, bit uint) error {
+	if err := m.check(addr, 1); err != nil {
+		return err
+	}
+	m.bytes[addr] ^= 1 << (bit % 8)
+	return nil
+}
+
+// Slice returns a window into physical memory for zero-copy device DMA.
+// The caller must not hold it across a resize (memory never resizes).
+func (m *Mem) Slice(addr uint64, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	return m.bytes[addr : addr+uint64(n)], nil
+}
+
+// cache is a direct-mapped write-back cache keyed on line tags. It tracks
+// only tags, not data: physical memory is always current for reads, and
+// the cache exists purely for the cycle cost model.
+type cache struct {
+	tags      []uint64
+	valid     []bool
+	dirty     []bool
+	lineShift uint
+	nlines    uint64
+}
+
+func newCache(capacity, lineSize int) *cache {
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	n := capacity / lineSize
+	if n < 1 {
+		n = 1
+	}
+	return &cache{
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		lineShift: shift,
+		nlines:    uint64(n),
+	}
+}
+
+// peek counts the line misses and dirty evictions an access of
+// [addr, addr+size) would cause, without changing cache state.
+func (c *cache) peek(addr uint64, size int) (misses, evictions int) {
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	for line := first; line <= last; line++ {
+		idx := line % c.nlines
+		if !c.valid[idx] || c.tags[idx] != line {
+			misses++
+			if c.valid[idx] && c.dirty[idx] {
+				evictions++
+			}
+		}
+	}
+	return misses, evictions
+}
+
+// access commits the cache-state change for touching [addr, addr+size).
+func (c *cache) access(addr uint64, size int, write bool) {
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	for line := first; line <= last; line++ {
+		idx := line % c.nlines
+		if !c.valid[idx] || c.tags[idx] != line {
+			c.tags[idx] = line
+			c.valid[idx] = true
+			c.dirty[idx] = false
+		}
+		if write {
+			c.dirty[idx] = true
+		}
+	}
+}
+
+// flush invalidates the whole cache (used at replica boot).
+func (c *cache) flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// bus models the shared memory bus as a token bucket refilled every global
+// cycle. Cores consume tokens for line fills and writebacks; when the
+// bucket is empty they stall, which is how replica contention halves
+// memcpy throughput under DMR on the x86 profile.
+type bus struct {
+	rate   int // tokens (bytes) added per cycle
+	burst  int // bucket capacity
+	tokens int // may go negative: a granted request leaves debt
+}
+
+func newBus(rate int) *bus {
+	return &bus{rate: rate, burst: rate * 4, tokens: rate * 4}
+}
+
+func (b *bus) tick() {
+	b.tokens += b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// take grants a request of n bytes when the bucket is non-negative,
+// leaving debt that must drain before the next grant. Debt (rather than a
+// hard capacity check) lets single requests exceed the per-cycle rate
+// while still enforcing the average bandwidth.
+func (b *bus) take(n int) bool {
+	if b.tokens <= 0 {
+		return false
+	}
+	b.tokens -= n
+	return true
+}

@@ -1,0 +1,145 @@
+// Package netstack defines the wire framing between the YCSB-style load
+// generator and the replicated key-value server (the lwIP + Redis protocol
+// stand-in). Frames are fixed-layout so the ISA-level server can parse
+// them with constant offsets.
+//
+// Request frame:
+//
+//	[0]    op (1=GET, 2=SET, 3=SCAN)
+//	[1]    key length (<= MaxKey)
+//	[2:4]  value length (SET) or scan count (SCAN), little-endian
+//	[4:8]  request ID, little-endian
+//	[8:]   key bytes, then value bytes
+//
+// Response frame:
+//
+//	[0]    status (0=OK, 1=not found, 2=error)
+//	[1]    reserved
+//	[2:4]  value length, little-endian
+//	[4:8]  request ID
+//	[8:]   value bytes
+package netstack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Operation codes.
+const (
+	OpGet  = 1
+	OpSet  = 2
+	OpScan = 3
+)
+
+// Response status codes.
+const (
+	StatusOK       = 0
+	StatusNotFound = 1
+	StatusError    = 2
+)
+
+// Size limits. MaxFrame bounds both directions and fits the NIC mailbox.
+const (
+	MaxKey   = 31
+	MaxValue = 512
+	MaxFrame = 8 + MaxKey + MaxValue
+	// HeaderBytes is the fixed frame header size.
+	HeaderBytes = 8
+)
+
+// ErrBadFrame reports a malformed frame.
+var ErrBadFrame = errors.New("netstack: malformed frame")
+
+// Request is a decoded client request.
+type Request struct {
+	Op    byte
+	ReqID uint32
+	Key   []byte
+	Value []byte
+	// ScanCount is the number of records a SCAN asks for.
+	ScanCount int
+}
+
+// Response is a decoded server response.
+type Response struct {
+	Status byte
+	ReqID  uint32
+	Value  []byte
+}
+
+// EncodeRequest serialises a request.
+func EncodeRequest(r Request) ([]byte, error) {
+	if len(r.Key) == 0 || len(r.Key) > MaxKey {
+		return nil, fmt.Errorf("%w: key length %d", ErrBadFrame, len(r.Key))
+	}
+	vlen := len(r.Value)
+	if r.Op == OpScan {
+		vlen = r.ScanCount
+	}
+	if vlen > MaxValue {
+		return nil, fmt.Errorf("%w: value length %d", ErrBadFrame, vlen)
+	}
+	buf := make([]byte, 0, HeaderBytes+len(r.Key)+len(r.Value))
+	buf = append(buf, r.Op, byte(len(r.Key)), byte(vlen), byte(vlen>>8),
+		byte(r.ReqID), byte(r.ReqID>>8), byte(r.ReqID>>16), byte(r.ReqID>>24))
+	buf = append(buf, r.Key...)
+	if r.Op != OpScan {
+		buf = append(buf, r.Value...)
+	}
+	return buf, nil
+}
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(b []byte) (Response, error) {
+	if len(b) < HeaderBytes {
+		return Response{}, fmt.Errorf("%w: short response (%d bytes)", ErrBadFrame, len(b))
+	}
+	vlen := int(b[2]) | int(b[3])<<8
+	if HeaderBytes+vlen > len(b) {
+		return Response{}, fmt.Errorf("%w: value length %d exceeds frame", ErrBadFrame, vlen)
+	}
+	return Response{
+		Status: b[0],
+		ReqID:  uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+		Value:  append([]byte(nil), b[HeaderBytes:HeaderBytes+vlen]...),
+	}, nil
+}
+
+// DecodeRequest parses a request frame (used by tests and the baseline
+// in-Go server model).
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) < HeaderBytes {
+		return Request{}, fmt.Errorf("%w: short request", ErrBadFrame)
+	}
+	klen := int(b[1])
+	vlen := int(b[2]) | int(b[3])<<8
+	r := Request{
+		Op:    b[0],
+		ReqID: uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+	}
+	if klen == 0 || klen > MaxKey || HeaderBytes+klen > len(b) {
+		return Request{}, fmt.Errorf("%w: key length %d", ErrBadFrame, klen)
+	}
+	r.Key = append([]byte(nil), b[HeaderBytes:HeaderBytes+klen]...)
+	switch r.Op {
+	case OpScan:
+		r.ScanCount = vlen
+	case OpSet:
+		if HeaderBytes+klen+vlen > len(b) {
+			return Request{}, fmt.Errorf("%w: value length %d", ErrBadFrame, vlen)
+		}
+		r.Value = append([]byte(nil), b[HeaderBytes+klen:HeaderBytes+klen+vlen]...)
+	}
+	return r, nil
+}
+
+// EncodeResponse serialises a response (used by tests and the in-Go
+// server model).
+func EncodeResponse(r Response) []byte {
+	buf := make([]byte, 0, HeaderBytes+len(r.Value))
+	vlen := len(r.Value)
+	buf = append(buf, r.Status, 0, byte(vlen), byte(vlen>>8),
+		byte(r.ReqID), byte(r.ReqID>>8), byte(r.ReqID>>16), byte(r.ReqID>>24))
+	return append(buf, r.Value...)
+}

@@ -1,0 +1,186 @@
+// Package stats provides the small statistical and presentation helpers the
+// benchmark harness uses to report results in the paper's format: means
+// with standard deviations in units of the least significant digit,
+// geometric means of overhead factors, and fixed-width tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample holds a set of repeated measurements of one quantity.
+type Sample struct {
+	values []float64
+}
+
+// Add appends one measurement.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// samples of fewer than two measurements.
+func (s *Sample) StdDev() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.values)-1))
+}
+
+// Min returns the smallest measurement, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Median returns the median measurement, or 0 for an empty sample.
+func (s *Sample) Median() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Values returns a copy of the raw measurements.
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative entries are skipped. It returns 0 for an empty input.
+func GeoMean(values []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range values {
+		if v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// PaperFormat renders a mean and standard deviation in the paper's table
+// style: the deviation is given in parentheses in units of the mean's least
+// significant printed digit, e.g. 2.31 (5) means 2.31 ± 0.05.
+func PaperFormat(mean, stddev float64, decimals int) string {
+	scale := math.Pow(10, float64(decimals))
+	dev := int(math.Round(stddev * scale))
+	return fmt.Sprintf("%.*f (%d)", decimals, mean, dev)
+}
+
+// Table accumulates rows of strings and renders them with aligned columns,
+// in the style used to present the paper's tables on a terminal.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: append([]string(nil), headers...)}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := append([]string(nil), cells...)
+	for len(row) < len(t.headers) {
+		row = append(row, "")
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

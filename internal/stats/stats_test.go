@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMean(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("Mean() = %v, want 2.5", got)
+	}
+	if got := s.N(); got != 4 {
+		t.Fatalf("N() = %d, want 4", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Fatalf("empty sample should report zeros")
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev() = %v, want %v", got, want)
+	}
+}
+
+func TestSampleMinMaxMedian(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 9, 3} {
+		s.Add(v)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 1/9", s.Min(), s.Max())
+	}
+	if got := s.Median(); got != 4 {
+		t.Fatalf("Median() = %v, want 4", got)
+	}
+	s.Add(100)
+	if got := s.Median(); got != 5 {
+		t.Fatalf("odd Median() = %v, want 5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanSkipsNonPositive(t *testing.T) {
+	got := GeoMean([]float64{0, -3, 4, 4})
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatalf("GeoMean(nil) should be 0")
+	}
+}
+
+func TestPaperFormat(t *testing.T) {
+	got := PaperFormat(2.31, 0.052, 2)
+	if got != "2.31 (5)" {
+		t.Fatalf("PaperFormat = %q, want %q", got, "2.31 (5)")
+	}
+	got = PaperFormat(86, 0.4, 0)
+	if got != "86 (0)" {
+		t.Fatalf("PaperFormat = %q, want %q", got, "86 (0)")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table II", "config", "Arm", "x86")
+	tb.AddRow("Base", "86 (0)", "55 (0)")
+	tb.AddRow("LC-D", "86 (0)")
+	out := tb.String()
+	if !strings.Contains(out, "Table II") {
+		t.Fatalf("missing title in %q", out)
+	}
+	if !strings.Contains(out, "Base") || !strings.Contains(out, "86 (0)") {
+		t.Fatalf("missing cells in %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		ok := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			s.Add(v)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9*math.Abs(s.Min())-1e-9 && m <= s.Max()+1e-9*math.Abs(s.Max())+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	vals := s.Values()
+	vals[0] = 99
+	if s.Mean() != 1 {
+		t.Fatalf("Values() aliases internal slice")
+	}
+}

@@ -1,0 +1,265 @@
+// Package workload implements YCSB-style load generation for the
+// key-value system benchmark (the paper drives Redis with the Yahoo!
+// Cloud Serving Benchmarks, §V-B): workloads A-F with zipfian and
+// latest-distribution key choosers, and CRC-protected values so silent
+// data corruption is observable at the client, as in the fault-injection
+// study (§V-C1).
+package workload
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rcoe/internal/netstack"
+)
+
+// Kind names a YCSB workload mix.
+type Kind int
+
+// YCSB workload kinds.
+const (
+	// YCSBA is 50% reads, 50% updates.
+	YCSBA Kind = iota + 1
+	// YCSBB is 95% reads, 5% updates.
+	YCSBB
+	// YCSBC is read-only.
+	YCSBC
+	// YCSBD is 95% reads of recent keys, 5% inserts.
+	YCSBD
+	// YCSBE is 95% short scans, 5% inserts.
+	YCSBE
+	// YCSBF is 50% reads, 50% read-modify-writes.
+	YCSBF
+)
+
+// String returns the YCSB letter.
+func (k Kind) String() string {
+	switch k {
+	case YCSBA:
+		return "A"
+	case YCSBB:
+		return "B"
+	case YCSBC:
+		return "C"
+	case YCSBD:
+		return "D"
+	case YCSBE:
+		return "E"
+	case YCSBF:
+		return "F"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// AllKinds returns workloads A-F in order.
+func AllKinds() []Kind {
+	return []Kind{YCSBA, YCSBB, YCSBC, YCSBD, YCSBE, YCSBF}
+}
+
+// PayloadBytes is the user-payload size per record; a CRC32 is appended,
+// so the stored value is PayloadBytes+4 bytes (the paper's client embeds
+// CRC32 checksums in values to detect corruption).
+const PayloadBytes = 120
+
+// zipfian implements Gray et al.'s bounded zipfian generator with the
+// YCSB constant 0.99.
+type zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func newZipfian(n uint64) *zipfian {
+	const theta = 0.99
+	z := &zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next(u float64) uint64 {
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1.0, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// Generator produces a deterministic YCSB request stream.
+type Generator struct {
+	kind        Kind
+	recordCount uint64
+	inserted    uint64
+	zipf        *zipfian
+	rng         uint64
+	nextReqID   uint32
+}
+
+// NewGenerator creates a generator over recordCount preloaded records.
+func NewGenerator(kind Kind, recordCount uint64, seed uint64) *Generator {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Generator{
+		kind:        kind,
+		recordCount: recordCount,
+		inserted:    recordCount,
+		zipf:        newZipfian(recordCount),
+		rng:         seed,
+	}
+}
+
+func (g *Generator) rand() uint64 {
+	x := g.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	g.rng = x
+	return x
+}
+
+func (g *Generator) randFloat() float64 {
+	return float64(g.rand()>>11) / float64(1<<53)
+}
+
+// Key renders record index i as a YCSB-style key.
+func Key(i uint64) []byte {
+	return []byte(fmt.Sprintf("user%08d", i))
+}
+
+// Value builds a deterministic CRC-protected value for record i with a
+// version counter, so overwrites remain verifiable.
+func Value(i, version uint64) []byte {
+	payload := make([]byte, PayloadBytes)
+	state := i*0x9E3779B97F4A7C15 + version + 1
+	for j := range payload {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		payload[j] = byte(state)
+	}
+	crc := crc32.ChecksumIEEE(payload)
+	return append(payload, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}
+
+// CheckValue verifies a CRC-protected value, reporting corruption.
+func CheckValue(v []byte) bool {
+	if len(v) < 4 {
+		return false
+	}
+	payload := v[:len(v)-4]
+	want := crc32.ChecksumIEEE(payload)
+	got := uint32(v[len(v)-4]) | uint32(v[len(v)-3])<<8 | uint32(v[len(v)-2])<<16 | uint32(v[len(v)-1])<<24
+	return got == want
+}
+
+// LoadRequests returns the SET requests that preload the database.
+func (g *Generator) LoadRequests() []netstack.Request {
+	reqs := make([]netstack.Request, 0, g.recordCount)
+	for i := uint64(0); i < g.recordCount; i++ {
+		g.nextReqID++
+		reqs = append(reqs, netstack.Request{
+			Op: netstack.OpSet, ReqID: g.nextReqID, Key: Key(i), Value: Value(i, 0),
+		})
+	}
+	return reqs
+}
+
+// Next produces the next operation of the run phase. For read-modify-write
+// (YCSB-F) it returns two chained requests.
+func (g *Generator) Next() []netstack.Request {
+	p := g.randFloat()
+	switch g.kind {
+	case YCSBA:
+		if p < 0.5 {
+			return []netstack.Request{g.read()}
+		}
+		return []netstack.Request{g.update()}
+	case YCSBB:
+		if p < 0.95 {
+			return []netstack.Request{g.read()}
+		}
+		return []netstack.Request{g.update()}
+	case YCSBC:
+		return []netstack.Request{g.read()}
+	case YCSBD:
+		if p < 0.95 {
+			return []netstack.Request{g.readLatest()}
+		}
+		return []netstack.Request{g.insert()}
+	case YCSBE:
+		if p < 0.95 {
+			return []netstack.Request{g.scan()}
+		}
+		return []netstack.Request{g.insert()}
+	default: // YCSBF
+		if p < 0.5 {
+			return []netstack.Request{g.read()}
+		}
+		// Read-modify-write targets one key for both halves.
+		i := g.chooseKey()
+		g.nextReqID++
+		rd := netstack.Request{Op: netstack.OpGet, ReqID: g.nextReqID, Key: Key(i)}
+		g.nextReqID++
+		wr := netstack.Request{Op: netstack.OpSet, ReqID: g.nextReqID, Key: Key(i),
+			Value: Value(i, uint64(g.nextReqID))}
+		return []netstack.Request{rd, wr}
+	}
+}
+
+func (g *Generator) chooseKey() uint64 {
+	return g.zipf.next(g.randFloat())
+}
+
+func (g *Generator) read() netstack.Request {
+	g.nextReqID++
+	return netstack.Request{Op: netstack.OpGet, ReqID: g.nextReqID, Key: Key(g.chooseKey())}
+}
+
+func (g *Generator) readLatest() netstack.Request {
+	g.nextReqID++
+	off := g.zipf.next(g.randFloat())
+	idx := uint64(0)
+	if off < g.inserted {
+		idx = g.inserted - 1 - off
+	}
+	return netstack.Request{Op: netstack.OpGet, ReqID: g.nextReqID, Key: Key(idx)}
+}
+
+func (g *Generator) update() netstack.Request {
+	g.nextReqID++
+	i := g.chooseKey()
+	return netstack.Request{Op: netstack.OpSet, ReqID: g.nextReqID, Key: Key(i), Value: Value(i, uint64(g.nextReqID))}
+}
+
+func (g *Generator) insert() netstack.Request {
+	g.nextReqID++
+	i := g.inserted
+	g.inserted++
+	return netstack.Request{Op: netstack.OpSet, ReqID: g.nextReqID, Key: Key(i), Value: Value(i, 0)}
+}
+
+func (g *Generator) scan() netstack.Request {
+	g.nextReqID++
+	count := 1 + int(g.rand()%50) // YCSB-E: uniform scan length, avg ~25
+	return netstack.Request{Op: netstack.OpScan, ReqID: g.nextReqID, Key: Key(g.chooseKey()), ScanCount: count}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rcoe/internal/netstack"
+)
+
+func TestLoadRequestsCoverAllRecords(t *testing.T) {
+	g := NewGenerator(YCSBA, 50, 1)
+	reqs := g.LoadRequests()
+	if len(reqs) != 50 {
+		t.Fatalf("load requests = %d", len(reqs))
+	}
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		if r.Op != netstack.OpSet {
+			t.Fatalf("load op = %d", r.Op)
+		}
+		seen[string(r.Key)] = true
+		if !CheckValue(r.Value) {
+			t.Fatalf("load value fails its own CRC")
+		}
+	}
+	if len(seen) != 50 {
+		t.Fatalf("duplicate keys in load phase")
+	}
+}
+
+func TestValueCRC(t *testing.T) {
+	v := Value(3, 7)
+	if !CheckValue(v) {
+		t.Fatalf("fresh value fails CRC")
+	}
+	v[0] ^= 1
+	if CheckValue(v) {
+		t.Fatalf("corrupted value passes CRC")
+	}
+	if CheckValue([]byte{1, 2}) {
+		t.Fatalf("short value passes CRC")
+	}
+}
+
+func TestValueVersionsDiffer(t *testing.T) {
+	if bytes.Equal(Value(1, 0), Value(1, 1)) {
+		t.Fatalf("versions produce identical values")
+	}
+	if bytes.Equal(Value(1, 0), Value(2, 0)) {
+		t.Fatalf("records produce identical values")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	g1 := NewGenerator(YCSBA, 100, 42)
+	g2 := NewGenerator(YCSBA, 100, 42)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if len(a) != len(b) {
+			t.Fatalf("op %d: lengths differ", i)
+		}
+		for j := range a {
+			if a[j].Op != b[j].Op || !bytes.Equal(a[j].Key, b[j].Key) {
+				t.Fatalf("op %d differs", i)
+			}
+		}
+	}
+}
+
+func TestMixesRoughlyMatch(t *testing.T) {
+	counts := func(k Kind, n int) map[byte]int {
+		g := NewGenerator(k, 1000, 7)
+		c := map[byte]int{}
+		for i := 0; i < n; i++ {
+			for _, r := range g.Next() {
+				c[r.Op]++
+			}
+		}
+		return c
+	}
+	const n = 2000
+	a := counts(YCSBA, n)
+	if a[netstack.OpGet] < n*40/100 || a[netstack.OpSet] < n*40/100 {
+		t.Fatalf("YCSB-A mix off: %v", a)
+	}
+	c := counts(YCSBC, n)
+	if c[netstack.OpSet] != 0 || c[netstack.OpScan] != 0 {
+		t.Fatalf("YCSB-C not read-only: %v", c)
+	}
+	e := counts(YCSBE, n)
+	if e[netstack.OpScan] < n*85/100 {
+		t.Fatalf("YCSB-E scan share off: %v", e)
+	}
+	b := counts(YCSBB, n)
+	if b[netstack.OpGet] < n*90/100 {
+		t.Fatalf("YCSB-B read share off: %v", b)
+	}
+}
+
+func TestFIssuesReadModifyWrite(t *testing.T) {
+	g := NewGenerator(YCSBF, 100, 9)
+	sawPair := false
+	for i := 0; i < 200 && !sawPair; i++ {
+		ops := g.Next()
+		if len(ops) == 2 {
+			if ops[0].Op != netstack.OpGet || ops[1].Op != netstack.OpSet {
+				t.Fatalf("RMW pair = %d,%d", ops[0].Op, ops[1].Op)
+			}
+			if !bytes.Equal(ops[0].Key, ops[1].Key) {
+				t.Fatalf("RMW keys differ")
+			}
+			sawPair = true
+		}
+	}
+	if !sawPair {
+		t.Fatalf("no read-modify-write pair in 200 ops")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewGenerator(YCSBC, 1000, 3)
+	hot := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		req := g.Next()[0]
+		var idx int
+		if _, err := fscan(string(req.Key), &idx); err != nil {
+			t.Fatalf("bad key %q", req.Key)
+		}
+		if idx < 100 {
+			hot++
+		}
+	}
+	// Zipfian(0.99): the hottest 10% of keys should draw well over half
+	// the accesses.
+	if hot < n/2 {
+		t.Fatalf("zipfian skew too weak: %d/%d in hottest decile", hot, n)
+	}
+}
+
+func fscan(key string, idx *int) (int, error) {
+	var n int
+	for i := len("user"); i < len(key); i++ {
+		n = n*10 + int(key[i]-'0')
+	}
+	*idx = n
+	return n, nil
+}
+
+func TestInsertsExtendKeySpace(t *testing.T) {
+	g := NewGenerator(YCSBD, 50, 5)
+	maxIdx := 0
+	for i := 0; i < 400; i++ {
+		for _, r := range g.Next() {
+			var idx int
+			_, _ = fscan(string(r.Key), &idx)
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+	}
+	if maxIdx < 50 {
+		t.Fatalf("inserts never extended the key space (max %d)", maxIdx)
+	}
+}
+
+func TestQuickKeysWellFormed(t *testing.T) {
+	f := func(i uint32) bool {
+		k := Key(uint64(i % 1_000_000))
+		return len(k) == len("user")+8 && string(k[:4]) == "user"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllKindsHaveNames(t *testing.T) {
+	for _, k := range AllKinds() {
+		if len(k.String()) != 1 {
+			t.Fatalf("kind %d renders as %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package rcoe is the public interface to the RCoE reproduction: redundant
+// co-execution of a complete software stack on a simulated COTS multicore,
+// after "Fault Tolerance Through Redundant Execution on COTS Multicores:
+// Exploring Trade-Offs" (DSN 2019).
+//
+// The package re-exports the building blocks a user needs:
+//
+//   - configure and build a replicated system (New, Config, Mode);
+//   - write guest programs against the simulated ISA (NewProgram / the
+//     asm builder) or use the stock workloads (Dhrystone, Whetstone, the
+//     key-value server, MD5, SPLASH kernels);
+//   - run the paper's experiments (Experiments, RunExperiment);
+//   - run fault-injection campaigns (MemCampaign, RegCampaign,
+//     RecoveryTrial);
+//   - drive the Redis-stand-in system benchmark (RunKV).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package rcoe
+
+import (
+	"rcoe/internal/asm"
+	"rcoe/internal/bench"
+	"rcoe/internal/compilerpass"
+	"rcoe/internal/core"
+	"rcoe/internal/faults"
+	"rcoe/internal/guest"
+	"rcoe/internal/harness"
+	"rcoe/internal/kernel"
+	"rcoe/internal/machine"
+	"rcoe/internal/stats"
+	"rcoe/internal/vmm"
+	"rcoe/internal/workload"
+)
+
+// Replication modes and configuration.
+type (
+	// Config describes a replicated system (mode, replica count,
+	// signature configuration, machine profile, timer period, masking).
+	Config = core.Config
+	// Mode selects the coupling model: ModeNone, ModeLC, ModeCC.
+	Mode = core.Mode
+	// SigConfig selects signature effort: SigIO ("N"), SigArgs ("A"),
+	// SigSync ("S").
+	SigConfig = core.SigConfig
+	// System is a replicated (or baseline) software stack.
+	System = core.System
+	// Detection records one error-detection event.
+	Detection = core.Detection
+	// Profile describes a machine profile.
+	Profile = machine.Profile
+)
+
+// Re-exported mode and signature constants.
+const (
+	ModeNone = core.ModeNone
+	ModeLC   = core.ModeLC
+	ModeCC   = core.ModeCC
+
+	SigIO   = core.SigIO
+	SigArgs = core.SigArgs
+	SigSync = core.SigSync
+)
+
+// X86 returns the profile standing in for the paper's Core i7-6700.
+func X86() Profile { return machine.X86() }
+
+// Arm returns the profile standing in for the paper's SABRE Lite
+// (i.MX6 / Cortex-A9).
+func Arm() Profile { return machine.Arm() }
+
+// New builds a replicated system from a configuration.
+func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Guest programs.
+type (
+	// Program is a guest workload for the simulated ISA.
+	Program = guest.Program
+	// Builder is the assembly builder guest programs are written with.
+	Builder = asm.Builder
+)
+
+// NewBuilder creates an empty assembly builder.
+func NewBuilder() *Builder { return asm.New() }
+
+// RewriteAtomics replaces canonical load-linked/store-conditional retry
+// loops with the kernel-mediated atomic system call, as compiler-assisted
+// CC-RCoE requires (§III-D). It returns the number of loops rewritten.
+func RewriteAtomics(b *Builder) int { return compilerpass.RewriteAtomics(b) }
+
+// Stock workloads from the paper's evaluation.
+var (
+	// Dhrystone builds the integer microbenchmark (Table II).
+	Dhrystone = guest.Dhrystone
+	// Whetstone builds the floating-point microbenchmark (Table II).
+	Whetstone = guest.Whetstone
+	// Membench builds the memory-bandwidth benchmark (Table V).
+	Membench = guest.Membench
+	// DataRace builds the racy-counter demonstrator (§V-A1).
+	DataRace = guest.DataRace
+	// AtomicCounter is DataRace's race-free, kernel-mediated variant.
+	AtomicCounter = guest.AtomicCounter
+	// MD5 builds the md5sum workload (Table VIII); pad input with MD5Pad.
+	MD5 = guest.MD5
+	// MD5Pad applies standard MD5 padding.
+	MD5Pad = guest.MD5Pad
+	// SplashSuite returns the fourteen SPLASH-2-style kernels (Table IV).
+	SplashSuite = guest.SplashSuite
+)
+
+// Load assembles a program for the system's configuration — applying the
+// compiler branch-counting pass when the configuration needs it — and
+// loads it into every replica. Prefer BuildSystem, which sizes the system
+// for the program; Load exists for pre-built systems whose configuration
+// already matches.
+func Load(sys *System, p Program) error {
+	cfg := sys.Config()
+	b := p.Build()
+	needsPass := cfg.Mode == core.ModeCC &&
+		(!cfg.Profile.PrecisePMU || cfg.ForceCompilerCounting)
+	if needsPass {
+		compilerpass.Instrument(b)
+	}
+	prog, err := b.Assemble(kernel.TextVA)
+	if err != nil {
+		return err
+	}
+	return sys.Load(kernel.ProcessConfig{
+		Prog: prog, DataBytes: p.DataBytes, Data: p.Data, Arg: p.Arg, Stacks: p.Stacks,
+	})
+}
+
+// BuildSystem creates a system sized for the program and loads it, ready
+// to Run.
+func BuildSystem(cfg Config, p Program) (*System, error) {
+	if cfg.Profile.Name == "" {
+		cfg.Profile = machine.X86()
+	}
+	b := p.Build()
+	needsPass := cfg.Mode == core.ModeCC &&
+		(!cfg.Profile.PrecisePMU || cfg.ForceCompilerCounting)
+	if needsPass {
+		compilerpass.Instrument(b)
+	}
+	prog, err := b.Assemble(kernel.TextVA)
+	if err != nil {
+		return nil, err
+	}
+	if needsPass {
+		cfg.BranchSites = compilerpass.BranchSites(prog, kernel.TextVA)
+	}
+	if cfg.PartitionBytes == 0 {
+		part := uint64(1 << 20)
+		for part < p.DataBytes+(2<<20) {
+			part <<= 1
+		}
+		cfg.PartitionBytes = part
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Load(kernel.ProcessConfig{
+		Prog: prog, DataBytes: p.DataBytes, Data: p.Data, Arg: p.Arg, Stacks: p.Stacks,
+	}); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Virtual machines (Tables III/IV).
+type (
+	// VM is a guest running on the replicated hypervisor.
+	VM = vmm.VM
+	// GuestConfig configures a VM launch.
+	GuestConfig = vmm.GuestConfig
+)
+
+// LaunchVM boots a guest program in a virtual-machine context.
+func LaunchVM(cfg GuestConfig) (*VM, error) { return vmm.Launch(cfg) }
+
+// The key-value system benchmark (Fig 3, Tables VII/IX).
+type (
+	// KVOptions configures a Redis-stand-in benchmark run.
+	KVOptions = harness.KVOptions
+	// KVResult is its outcome.
+	KVResult = harness.KVResult
+	// WorkloadKind selects the YCSB mix (workload A-F).
+	WorkloadKind = workload.Kind
+)
+
+// YCSB workload kinds.
+const (
+	YCSBA = workload.YCSBA
+	YCSBB = workload.YCSBB
+	YCSBC = workload.YCSBC
+	YCSBD = workload.YCSBD
+	YCSBE = workload.YCSBE
+	YCSBF = workload.YCSBF
+)
+
+// RunKV runs the replicated key-value server under YCSB-style load.
+func RunKV(opts KVOptions) (KVResult, error) { return harness.RunKV(opts) }
+
+// Fault injection (Tables VII-X, Fig 4).
+type (
+	// MemCampaignOptions configures random memory-fault campaigns.
+	MemCampaignOptions = faults.MemCampaignOptions
+	// RegCampaignOptions configures register-fault campaigns on md5.
+	RegCampaignOptions = faults.RegCampaignOptions
+	// RecoveryOptions configures TMR-downgrade measurements.
+	RecoveryOptions = faults.RecoveryOptions
+	// Outcome classifies a fault trial.
+	Outcome = faults.Outcome
+)
+
+// MemCampaign runs the Table VII memory fault-injection study.
+func MemCampaign(opts MemCampaignOptions) (*faults.Tally, error) {
+	return faults.MemCampaign(opts)
+}
+
+// RegCampaign runs the Table VIII register fault-injection study.
+func RegCampaign(opts RegCampaignOptions) (faults.RegTally, error) {
+	return faults.RegCampaign(opts)
+}
+
+// RecoveryTrial measures one TMR->DMR downgrade (Table X / Fig 4).
+func RecoveryTrial(opts RecoveryOptions) (faults.RecoveryResult, error) {
+	return faults.RecoveryTrial(opts)
+}
+
+// Experiments: the paper's tables and figures.
+type (
+	// Experiment is one reproducible table/figure.
+	Experiment = bench.Experiment
+	// Scale selects Quick or Full experiment sizing.
+	Scale = bench.Scale
+	// Table is a rendered result table.
+	Table = stats.Table
+)
+
+// Experiment scales.
+const (
+	Quick = bench.Quick
+	Full  = bench.Full
+)
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment { return bench.All() }
+
+// RunExperiment runs one experiment by ID ("table2", "fig3", ...).
+func RunExperiment(id string, s Scale) (*Table, error) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return e.Run(s)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "rcoe: unknown experiment " + string(e)
+}

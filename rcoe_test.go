@@ -1,0 +1,147 @@
+package rcoe_test
+
+import (
+	"strings"
+	"testing"
+
+	"rcoe"
+)
+
+// sumProgram is a small public-API guest.
+func sumProgram() rcoe.Program {
+	return rcoe.Program{
+		Name:      "sum",
+		DataBytes: 4096,
+		Stacks:    1,
+		Build: func() *rcoe.Builder {
+			b := rcoe.NewBuilder()
+			b.Li(5, 0)
+			b.Li(6, 0)
+			b.Li64(7, 5000)
+			b.Label("loop")
+			b.Add(5, 5, 6)
+			b.Addi(6, 6, 1)
+			b.Blt(6, 7, "loop")
+			b.Mov(1, 5)
+			b.Syscall(1)
+			return b
+		},
+	}
+}
+
+func TestPublicAPIDMRRun(t *testing.T) {
+	sys, err := rcoe.BuildSystem(rcoe.Config{
+		Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 10_000,
+	}, sumProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(5000 * 4999 / 2)
+	for rid := 0; rid < 2; rid++ {
+		if got := sys.Replica(rid).K.Thread(0).ExitCode; got != want {
+			t.Fatalf("replica %d exit = %d, want %d", rid, got, want)
+		}
+	}
+}
+
+func TestPublicAPICCArm(t *testing.T) {
+	sys, err := rcoe.BuildSystem(rcoe.Config{
+		Mode: rcoe.ModeCC, Replicas: 2, TickCycles: 10_000, Profile: rcoe.Arm(),
+	}, sumProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIKV(t *testing.T) {
+	res, err := rcoe.RunKV(rcoe.KVOptions{
+		System:      rcoe.Config{Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 50_000},
+		Workload:    rcoe.YCSBB,
+		Records:     24,
+		Operations:  50,
+		TraceOutput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 50 || res.Corruptions != 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	exps := rcoe.Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("only %d experiments", len(exps))
+	}
+	tbl, err := rcoe.RunExperiment("table1", rcoe.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "R2") {
+		t.Fatalf("table1 missing consensus result:\n%s", tbl)
+	}
+	if _, err := rcoe.RunExperiment("no-such", rcoe.Quick); err == nil {
+		t.Fatalf("unknown experiment should error")
+	}
+}
+
+func TestPublicAPIStockWorkloads(t *testing.T) {
+	progs := []rcoe.Program{
+		rcoe.Dhrystone(100),
+		rcoe.Whetstone(20),
+		rcoe.Membench(4096, 1),
+		rcoe.DataRace(2, 3, 3),
+		rcoe.AtomicCounter(2, 3),
+		rcoe.MD5(rcoe.MD5Pad([]byte("hello"))),
+	}
+	for _, p := range progs {
+		sys, err := rcoe.BuildSystem(rcoe.Config{Mode: rcoe.ModeNone, TickCycles: 10_000}, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := sys.Run(500_000_000); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	if len(rcoe.SplashSuite()) != 14 {
+		t.Fatalf("splash suite size")
+	}
+}
+
+func TestPublicAPIVM(t *testing.T) {
+	vm, err := rcoe.LaunchVM(rcoe.GuestConfig{
+		System:  rcoe.Config{Mode: rcoe.ModeCC, Replicas: 2, TickCycles: 10_000},
+		Program: sumProgram(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := vm.Run(500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatalf("no cycles measured")
+	}
+}
+
+func TestPublicAPIRecovery(t *testing.T) {
+	res, err := rcoe.RecoveryTrial(rcoe.RecoveryOptions{
+		System:        rcoe.Config{Mode: rcoe.ModeLC},
+		FaultyReplica: 1,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.WasPrimary {
+		t.Fatalf("unexpected recovery result: %+v", res)
+	}
+}
