@@ -5,12 +5,18 @@
 //
 //	rcoe-faults [-mode base|lc|cc] [-replicas N] [-arch x86|arm]
 //	            [-trials N] [-burst N] [-no-trace] [-seed N]
+//	rcoe-faults soak [-cycles N] [-seed N] [-window N] [-budget N] [-quiet]
 //
-// It prints a per-outcome tally in the categories of the paper's
-// Tables VII/IX, with the controlled/uncontrolled split.
+// The default campaign prints a per-outcome tally in the categories of
+// the paper's Tables VII/IX, with the controlled/uncontrolled split. The
+// soak subcommand drives the chaos-soak campaign: randomized fault
+// cycles (memory flips, register flips, injected stalls) against a
+// masking TMR system, with straggler ejection and live re-integration
+// after every downgrade.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,15 +34,23 @@ func main() {
 }
 
 func run() int {
-	mode := flag.String("mode", "lc", "replication mode: base, lc or cc")
-	replicas := flag.Int("replicas", 2, "replica count (1 for base, 2-3 otherwise)")
-	arch := flag.String("arch", "x86", "machine profile: x86 or arm")
-	trials := flag.Int("trials", 20, "number of injection trials")
-	burst := flag.Int("burst", 1, "bits per injection (>1 models overclocking)")
-	noTrace := flag.Bool("no-trace", false, "disable driver output traces (the -N configurations)")
-	seed := flag.Uint64("seed", 1, "campaign seed")
-	ops := flag.Uint64("ops", 150, "client operations per trial")
-	flag.Parse()
+	if len(os.Args) > 1 && os.Args[1] == "soak" {
+		return runSoak(os.Args[2:])
+	}
+	return runMemCampaign(os.Args[1:])
+}
+
+func runMemCampaign(args []string) int {
+	fs := flag.NewFlagSet("rcoe-faults", flag.ExitOnError)
+	mode := fs.String("mode", "lc", "replication mode: base, lc or cc")
+	replicas := fs.Int("replicas", 2, "replica count (1 for base, 2-3 otherwise)")
+	arch := fs.String("arch", "x86", "machine profile: x86 or arm")
+	trials := fs.Int("trials", 20, "number of injection trials")
+	burst := fs.Int("burst", 1, "bits per injection (>1 models overclocking)")
+	noTrace := fs.Bool("no-trace", false, "disable driver output traces (the -N configurations)")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	ops := fs.Uint64("ops", 150, "client operations per trial")
+	_ = fs.Parse(args)
 
 	var m core.Mode
 	switch *mode {
@@ -99,5 +113,57 @@ func run() int {
 	}
 	fmt.Printf("observed errors: %d  controlled: %d  uncontrolled: %d\n",
 		tally.Observed(), tally.Controlled(), tally.Uncontrolled())
+	return 0
+}
+
+func runSoak(args []string) int {
+	fs := flag.NewFlagSet("rcoe-faults soak", flag.ExitOnError)
+	cycles := fs.Int("cycles", 20, "fault cycles to run")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	window := fs.Uint64("window", 2_000_000, "availability window in cycles")
+	budget := fs.Uint64("budget", 40_000_000, "cycle budget per fault cycle")
+	quiet := fs.Bool("quiet", false, "suppress the per-cycle log")
+	_ = fs.Parse(args)
+
+	opts := faults.SoakOptions{
+		Cycles:       *cycles,
+		Seed:         *seed,
+		WindowCycles: *window,
+		CycleBudget:  *budget,
+	}
+	if !*quiet {
+		opts.Log = func(line string) { fmt.Println(line) }
+	}
+	res, err := faults.Soak(opts)
+	if err != nil {
+		if errors.Is(err, faults.ErrNoEjection) {
+			fmt.Fprintf(os.Stderr, "rcoe-faults soak: straggler ejection failed: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rcoe-faults soak: %v\n", err)
+		}
+		return 1
+	}
+
+	fmt.Printf("soak: %d cycles, seed %#x\n", len(res.Cycles), *seed)
+	var keys []faults.Outcome
+	for o := range res.Tally.Counts {
+		keys = append(keys, o)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, o := range keys {
+		fmt.Printf("  %-20s %d\n", o.String(), res.Tally.Counts[o])
+	}
+	fmt.Printf("client ops: %d  errors: %d  corruptions: %d\n",
+		res.Ops, res.Errors, res.Corruptions)
+	fmt.Printf("ejections: %d  reintegrations: %d  windows: %d  min window: %.1f ops/Mcycle\n",
+		res.Ejections, res.Reintegrations, len(res.Windows), res.MinWindow)
+	if !res.Ok() {
+		fmt.Println("invariant violations:")
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("invariants held: all outcomes controlled, client progressed in every window")
 	return 0
 }

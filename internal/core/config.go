@@ -100,6 +100,13 @@ type Config struct {
 	// BarrierTimeout is the spin budget, in cycles, before a replica
 	// waiting on a kernel barrier declares a straggler divergent.
 	BarrierTimeout uint64
+	// WatchdogCycles is the synchronisation-watchdog period: when no
+	// rendezvous has opened for this many cycles, a probe rendezvous is
+	// opened so a silently dead primary (which receives all device
+	// interrupts) is caught by the barrier timeout instead of hanging
+	// the system. 0 selects 2*BarrierTimeout under Masking and disables
+	// the watchdog otherwise.
+	WatchdogCycles uint64
 	// Masking enables TMR->DMR downgrade on a failed signature vote
 	// (§IV). Requires Replicas >= 3.
 	Masking bool
@@ -172,6 +179,19 @@ func (c Config) withDefaults() (Config, error) {
 		c.MemBytes = int(sharedSize+dmaSize) + c.Replicas*int(c.PartitionBytes) + (1 << 20)
 	}
 	return c, nil
+}
+
+// watchdogCycles resolves the effective synchronisation-watchdog period:
+// the configured value, or twice the barrier timeout for masking
+// configurations (0 = watchdog disabled).
+func (c Config) watchdogCycles() uint64 {
+	if c.WatchdogCycles != 0 {
+		return c.WatchdogCycles
+	}
+	if c.Masking {
+		return 2 * c.BarrierTimeout
+	}
+	return 0
 }
 
 // DetectionKind classifies how the system detected (or failed to detect)

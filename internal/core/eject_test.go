@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// stallThenEject builds a masking TMR system, stalls replica `victim`, and
+// runs until the straggler is ejected.
+func stallThenEject(t *testing.T, victim int, loops int64) *System {
+	t.Helper()
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+		Sig: SigArgs, Masking: true, BarrierTimeout: 300_000}, syscallLoop(t, loops))
+	sys.RunCycles(50_000)
+	sys.InjectStall(victim)
+	if err := sys.Machine().RunUntil(func() bool {
+		return sys.AliveCount() == 2 || sys.halted
+	}, 400_000_000); err != nil {
+		t.Fatalf("ejection never happened: %v", err)
+	}
+	if sys.halted {
+		t.Fatalf("system halted instead of ejecting: %s", sys.haltReason)
+	}
+	return sys
+}
+
+func TestStragglerEjectionToDMR(t *testing.T) {
+	// The acceptance scenario: a hung replica is voted out, the system
+	// continues as DMR, and a later Reintegrate restores TMR.
+	sys := stallThenEject(t, 2, 80_000)
+	if sys.Alive(2) {
+		t.Fatalf("replica 2 still alive after stall")
+	}
+	if got := sys.Stats().Ejections; got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+	var d Detection
+	for _, det := range sys.Detections() {
+		if det.Kind == DetectBarrierTimeout {
+			d = det
+		}
+	}
+	if d.Kind != DetectBarrierTimeout || !d.Masked || d.Replica != 2 {
+		t.Fatalf("no masked barrier-timeout detection for replica 2: %v", sys.Detections())
+	}
+	if err := sys.Reintegrate(2); err != nil {
+		t.Fatalf("reintegrate after ejection: %v", err)
+	}
+	if sys.AliveCount() != 3 {
+		t.Fatalf("TMR not restored (alive=%d)", sys.AliveCount())
+	}
+	mustFinish(t, sys, 2_000_000_000)
+	for rid := 0; rid < 3; rid++ {
+		if got := sys.Replica(rid).K.Thread(0).ExitCode; got != 0 {
+			t.Fatalf("replica %d exit = %d", rid, got)
+		}
+	}
+}
+
+func TestStragglerEjectionOfPrimary(t *testing.T) {
+	// Ejecting the primary exercises re-election and interrupt re-routing.
+	sys := stallThenEject(t, 0, 80_000)
+	if sys.Alive(0) || sys.Primary() == 0 {
+		t.Fatalf("primary not re-elected (primary=%d)", sys.Primary())
+	}
+	mustFinish(t, sys, 2_000_000_000)
+}
+
+func TestStragglerDMRStillHalts(t *testing.T) {
+	// With only two replicas there is no majority to continue on; a hung
+	// replica must fail-stop (detection only).
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000,
+		BarrierTimeout: 300_000}, syscallLoop(t, 80_000))
+	sys.RunCycles(50_000)
+	sys.InjectStall(1)
+	err := sys.Run(400_000_000)
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("DMR stall should halt, got %v", err)
+	}
+	for _, d := range sys.Detections() {
+		if d.Kind == DetectBarrierTimeout && d.Masked {
+			t.Fatalf("DMR barrier timeout must not be recorded as masked")
+		}
+	}
+}
+
+func TestRequestReintegrateLive(t *testing.T) {
+	// Live re-integration: requested while the workload runs, applied at
+	// the next completed rendezvous without stopping the system.
+	sys := stallThenEject(t, 2, 120_000)
+	if err := sys.RequestReintegrate(2); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if pending, _ := sys.ReintegrateOutcome(); !pending {
+		t.Fatalf("request not pending")
+	}
+	if err := sys.Machine().RunUntil(func() bool {
+		return sys.Stats().Reintegrations == 1 || sys.halted
+	}, 400_000_000); err != nil {
+		t.Fatalf("live reintegration never applied: %v", err)
+	}
+	if pending, rerr := sys.ReintegrateOutcome(); pending || rerr != nil {
+		t.Fatalf("outcome pending=%v err=%v", pending, rerr)
+	}
+	if sys.AliveCount() != 3 || !sys.Alive(2) {
+		t.Fatalf("TMR not restored (alive=%d)", sys.AliveCount())
+	}
+	mustFinish(t, sys, 2_000_000_000)
+}
+
+func TestRequestReintegrateWhileRendezvousOpen(t *testing.T) {
+	// A request issued mid-rendezvous must defer to the rendezvous'
+	// completion, not clone half-synchronised state.
+	sys := downgradeThen(t, 2, 120_000)
+	if err := sys.Machine().RunUntil(sys.syncPending, 100_000_000); err != nil {
+		t.Fatalf("no rendezvous opened: %v", err)
+	}
+	if err := sys.RequestReintegrate(2); err != nil {
+		t.Fatalf("request during open rendezvous: %v", err)
+	}
+	if sys.Alive(2) {
+		t.Fatalf("reintegration applied while the rendezvous was still open")
+	}
+	if err := sys.Machine().RunUntil(func() bool {
+		return sys.Stats().Reintegrations == 1 || sys.halted
+	}, 400_000_000); err != nil {
+		t.Fatalf("deferred reintegration never applied: %v", err)
+	}
+	mustFinish(t, sys, 2_000_000_000)
+	if sys.AliveCount() != 3 {
+		t.Fatalf("TMR not restored (alive=%d)", sys.AliveCount())
+	}
+}
+
+func TestReintegrateAfterHalt(t *testing.T) {
+	// TMR without masking fail-stops on a mismatch; re-integration of the
+	// dead system must refuse cleanly.
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000},
+		syscallLoop(t, 10000))
+	sys.RunCycles(50_000)
+	lay := sys.Replica(1).K.Layout()
+	if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(200_000_000); !errors.Is(err, ErrHalted) {
+		t.Fatalf("expected halt, got %v", err)
+	}
+	if err := sys.Reintegrate(1); !errors.Is(err, ErrReintegrate) {
+		t.Fatalf("Reintegrate on halted system = %v, want ErrReintegrate", err)
+	}
+	if err := sys.RequestReintegrate(1); !errors.Is(err, ErrReintegrate) {
+		t.Fatalf("RequestReintegrate on halted system = %v, want ErrReintegrate", err)
+	}
+}
+
+func TestRepeatedLifecycleSameReplica(t *testing.T) {
+	// Stall -> eject -> reintegrate the same replica twice: per-replica
+	// state (stall marks, chase state, shared words) must not leak across
+	// cycles.
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+		Sig: SigArgs, Masking: true, BarrierTimeout: 300_000}, syscallLoop(t, 200_000))
+	sys.RunCycles(50_000)
+	for cycle := 0; cycle < 2; cycle++ {
+		sys.InjectStall(2)
+		if err := sys.Machine().RunUntil(func() bool {
+			return sys.AliveCount() == 2 || sys.halted
+		}, 800_000_000); err != nil {
+			t.Fatalf("cycle %d: ejection never happened: %v", cycle, err)
+		}
+		if sys.halted {
+			t.Fatalf("cycle %d: halted: %s", cycle, sys.haltReason)
+		}
+		if err := sys.RequestReintegrate(2); err != nil {
+			t.Fatalf("cycle %d: request: %v", cycle, err)
+		}
+		if err := sys.Machine().RunUntil(func() bool {
+			return sys.Stats().Reintegrations == uint64(cycle+1) || sys.halted
+		}, 800_000_000); err != nil {
+			t.Fatalf("cycle %d: reintegration never applied: %v", cycle, err)
+		}
+		if _, rerr := sys.ReintegrateOutcome(); rerr != nil {
+			t.Fatalf("cycle %d: reintegration failed: %v", cycle, rerr)
+		}
+		if sys.AliveCount() != 3 {
+			t.Fatalf("cycle %d: alive=%d", cycle, sys.AliveCount())
+		}
+	}
+	if got := sys.Stats().Ejections; got != 2 {
+		t.Fatalf("ejections = %d, want 2", got)
+	}
+	mustFinish(t, sys, 4_000_000_000)
+	for rid := 0; rid < 3; rid++ {
+		if got := sys.Replica(rid).K.Thread(0).ExitCode; got != 0 {
+			t.Fatalf("replica %d exit = %d", rid, got)
+		}
+	}
+}

@@ -38,8 +38,62 @@ const reintegrateCostPerPage = 180
 // Reintegrate brings the off-lined replica rid back into the
 // configuration by cloning a surviving non-primary replica's state. The
 // system must be idle-ish: the call synchronises on the machine being
-// outside any open rendezvous.
+// outside any open rendezvous. For re-integration under load, use
+// RequestReintegrate instead.
 func (s *System) Reintegrate(rid int) error {
+	if err := s.reintegrateCheck(rid); err != nil {
+		return err
+	}
+	// Quiesce: run until no synchronisation generation is open, so every
+	// survivor is executing user code (or idling) at a consistent point.
+	if err := s.m.RunUntil(func() bool { return !s.syncPending() && !s.halted }, 50_000_000); err != nil {
+		return fmt.Errorf("%w: could not quiesce: %v", ErrReintegrate, err)
+	}
+	if s.halted {
+		return fmt.Errorf("%w: system halted while quiescing", ErrReintegrate)
+	}
+	return s.doReintegrate(rid)
+}
+
+// RequestReintegrate schedules replica rid for live re-integration while
+// the workload keeps running: the clone is applied at the next completed
+// rendezvous (the natural quiesce point — every survivor has just voted
+// and released, so no replica is mid-event). Poll ReintegrateOutcome, or
+// Stats().Reintegrations, to observe completion.
+func (s *System) RequestReintegrate(rid int) error {
+	if err := s.reintegrateCheck(rid); err != nil {
+		return err
+	}
+	s.reintegratePending = rid + 1
+	s.reintegrateErr = nil
+	return nil
+}
+
+// ReintegrateOutcome reports whether a requested live re-integration is
+// still pending, and the error (nil on success) of the last applied one.
+func (s *System) ReintegrateOutcome() (pending bool, err error) {
+	return s.reintegratePending != 0, s.reintegrateErr
+}
+
+// applyPendingReintegrate runs a requested live re-integration at the
+// completed-rendezvous quiesce point (called by the last replica leaving
+// a rendezvous, after the synchronisation words are cleared).
+func (s *System) applyPendingReintegrate() {
+	if s.reintegratePending == 0 || s.halted {
+		return
+	}
+	rid := s.reintegratePending - 1
+	s.reintegratePending = 0
+	if err := s.reintegrateCheck(rid); err != nil {
+		s.reintegrateErr = err
+		return
+	}
+	s.reintegrateErr = s.doReintegrate(rid)
+}
+
+// reintegrateCheck validates that replica rid is eligible for
+// re-integration.
+func (s *System) reintegrateCheck(rid int) error {
 	if s.halted {
 		return fmt.Errorf("%w: system is halted", ErrReintegrate)
 	}
@@ -52,14 +106,12 @@ func (s *System) Reintegrate(rid int) error {
 	if s.cfg.Mode == ModeNone {
 		return fmt.Errorf("%w: baseline systems have no replicas to restore", ErrReintegrate)
 	}
-	// Quiesce: run until no synchronisation generation is open, so every
-	// survivor is executing user code (or idling) at a consistent point.
-	if err := s.m.RunUntil(func() bool { return !s.syncPending() && !s.halted }, 50_000_000); err != nil {
-		return fmt.Errorf("%w: could not quiesce: %v", ErrReintegrate, err)
-	}
-	if s.halted {
-		return fmt.Errorf("%w: system halted while quiescing", ErrReintegrate)
-	}
+	return nil
+}
+
+// doReintegrate performs the clone. The caller guarantees the system is
+// quiesced (no open rendezvous) and rid passed reintegrateCheck.
+func (s *System) doReintegrate(rid int) error {
 	donor := s.pickDonor()
 	if donor == nil {
 		return fmt.Errorf("%w: no surviving non-primary donor", ErrReintegrate)
@@ -102,6 +154,7 @@ func (s *System) Reintegrate(rid int) error {
 	target.K = freshKernel
 	target.finished = donor.finished
 	target.chasing = false
+	target.stallPending = false
 
 	// Mirror the donor's published shared-block state so the next
 	// rendezvous sees a consistent arrival history.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -84,11 +85,11 @@ func TestReintegrateThenMaskAgain(t *testing.T) {
 func TestReintegrateValidation(t *testing.T) {
 	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000},
 		syscallLoop(t, 50_000))
-	if err := sys.Reintegrate(0); err == nil {
-		t.Fatalf("reintegrating an alive replica should fail")
+	if err := sys.Reintegrate(0); !errors.Is(err, ErrReintegrate) {
+		t.Fatalf("reintegrating an alive replica = %v, want ErrReintegrate", err)
 	}
-	if err := sys.Reintegrate(7); err == nil {
-		t.Fatalf("reintegrating a nonexistent replica should fail")
+	if err := sys.Reintegrate(7); !errors.Is(err, ErrReintegrate) {
+		t.Fatalf("reintegrating a nonexistent replica = %v, want ErrReintegrate", err)
 	}
 }
 
@@ -101,7 +102,7 @@ func TestReintegrateNeedsNonPrimaryDonor(t *testing.T) {
 	sys.RunCycles(30_000)
 	sys.sh.removeAlive(1)
 	sys.Replica(1).Core().SetOffline()
-	if err := sys.Reintegrate(1); err == nil {
-		t.Fatalf("reintegration without a non-primary donor should fail")
+	if err := sys.Reintegrate(1); !errors.Is(err, ErrReintegrate) {
+		t.Fatalf("reintegration without a non-primary donor = %v, want ErrReintegrate", err)
 	}
 }

@@ -36,6 +36,7 @@ func (s *System) requestSync(requester int, kind, lines uint64) {
 	}
 	s.syncCounter++
 	s.releasedSet = 0
+	s.lastSyncOpen = s.m.Now()
 	s.sh.setWord(wReleaseGen, 0)
 	s.sh.setWord(wVoteOutcome, 0)
 	s.sh.setWord(wSyncKind, kind)
@@ -205,7 +206,16 @@ func (s *System) parkAtRendezvous(r *Replica, gen uint64) {
 			s.sh.setRepWord(r.ID, rwParkedGen, 0)
 			s.catchUp(r, s.maxAliveTime())
 		default:
-			s.barrierTimeout(r, gen)
+			if s.barrierTimeout(r, gen) {
+				if !s.sh.alive(r.ID) {
+					// The waiter itself was the minority-time straggler.
+					c.SetOffline()
+					return
+				}
+				// Straggler ejected: rejoin the still-open rendezvous with
+				// the surviving replicas (fresh spin budget).
+				s.parkAtRendezvous(r, gen)
+			}
 		}
 	})
 }
@@ -306,6 +316,10 @@ func (s *System) markReleased(r *Replica, gen uint64) {
 		s.sh.setWord(wSyncLines, 0)
 		s.sh.setWord(wReleaseGen, 0)
 		s.sh.setWord(wVoteOutcome, 0)
+		// The rendezvous is fully drained: every survivor has voted and
+		// released, so this is the quiesce point a live re-integration
+		// request waits for.
+		s.applyPendingReintegrate()
 	}
 }
 
@@ -329,18 +343,99 @@ func (s *System) finishedPark(r *Replica) {
 }
 
 // barrierTimeout fires when a replica exhausted its spin budget waiting
-// for stragglers: divergence is detected but (per §IV-A) not recoverable,
-// so the system fail-stops.
-func (s *System) barrierTimeout(r *Replica, gen uint64) {
-	straggler := -1
+// for stragglers at a rendezvous. Under a masking TMR configuration the
+// non-responsive replica is ejected and the survivors continue as DMR;
+// otherwise divergence is detected but (per §IV-A) not recoverable and
+// the system fail-stops. Returns true when the waiting replica should
+// re-enter the barrier.
+func (s *System) barrierTimeout(r *Replica, gen uint64) bool {
+	straggler := s.rendezvousStraggler(gen)
+	if straggler == -1 {
+		// Every alive replica arrived and parked, yet the rendezvous never
+		// completed: the published logical times disagree. With three or
+		// more voters a single dissenting time identifies the faulty
+		// replica (the majority cannot all be wrong under the single-fault
+		// assumption, as in Listing 5's vote).
+		straggler = s.timeMinority()
+	}
+	if straggler == -1 {
+		s.record(DetectBarrierTimeout, -1, false)
+		s.halt(fmt.Sprintf("barrier timeout with diverged replica times (gen %d)", gen))
+		return false
+	}
+	return s.ejectStraggler(straggler)
+}
+
+// timeMinority returns the one alive replica whose published logical time
+// disagrees with an agreeing majority of all the others, or -1 when no
+// such consensus exists.
+func (s *System) timeMinority() int {
+	ids := s.aliveIDs()
+	n := len(ids)
+	if n < 3 {
+		return -1
+	}
+	best, bestCount := -1, 0
+	for _, rid := range ids {
+		t := s.sh.readTime(rid)
+		count := 0
+		for _, o := range ids {
+			if s.sh.readTime(o).equal(t) {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestCount = count
+			best = rid
+		}
+	}
+	if bestCount != n-1 {
+		return -1
+	}
+	ref := s.sh.readTime(best)
+	for _, rid := range ids {
+		if !s.sh.readTime(rid).equal(ref) {
+			return rid
+		}
+	}
+	return -1
+}
+
+// rendezvousStraggler identifies the replica holding up generation gen:
+// first one that never arrived, else one that arrived but never parked
+// (lost mid-catch-up, e.g. a CC chase that cannot converge). Returns -1
+// when all alive replicas are arrived and parked.
+func (s *System) rendezvousStraggler(gen uint64) int {
 	for _, rid := range s.aliveIDs() {
 		if s.sh.repWord(rid, rwArriveGen) != gen {
+			return rid
+		}
+	}
+	for _, rid := range s.aliveIDs() {
+		if s.sh.repWord(rid, rwParkedGen) != gen {
+			return rid
+		}
+	}
+	return -1
+}
+
+// eventBarrierTimeout is barrierTimeout's analogue for event barriers,
+// where arrival is tracked by the per-replica vote-event word rather than
+// a rendezvous generation.
+func (s *System) eventBarrierTimeout(r *Replica, ev uint64) bool {
+	straggler := -1
+	for _, rid := range s.aliveIDs() {
+		if s.sh.repWord(rid, rwVoteEvent) < ev {
 			straggler = rid
 			break
 		}
 	}
-	s.record(DetectBarrierTimeout, straggler, false)
-	s.halt(fmt.Sprintf("barrier timeout waiting for replica %d (gen %d)", straggler, gen))
+	if straggler == -1 {
+		s.record(DetectBarrierTimeout, -1, false)
+		s.halt(fmt.Sprintf("event barrier timeout at event %d", ev))
+		return false
+	}
+	return s.ejectStraggler(straggler)
 }
 
 // debugChase, when set, observes every catch-up comparison (tests only).
@@ -495,7 +590,13 @@ func (s *System) eventBarrier(r *Replica, ev uint64, action func(), cont func())
 			c.AddStall(40) // barrier bookkeeping
 			cont()
 		default:
-			s.barrierTimeout(r, 0)
+			if s.eventBarrierTimeout(r, ev) {
+				if !s.sh.alive(r.ID) {
+					c.SetOffline()
+					return
+				}
+				s.eventBarrier(r, ev, action, cont)
+			}
 		}
 	})
 }

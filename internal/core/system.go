@@ -26,6 +26,10 @@ type Replica struct {
 	// finished is true once the replica's workload completed.
 	finished bool
 
+	// stallPending marks the replica to hang at its next kernel entry
+	// (injected fault: a core that stops making progress).
+	stallPending bool
+
 	// barrierStart is the core cycle at which the replica began waiting
 	// on the current rendezvous (for timeout detection).
 	barrierStart uint64
@@ -51,6 +55,8 @@ type Stats struct {
 	InputBytes      uint64 // bytes replicated through the input buffer
 	DowngradeCycles uint64 // cycles consumed by the last downgrade
 	Reintegrations  uint64 // completed DMR->TMR upgrades (§IV-C)
+	Ejections       uint64 // stragglers voted out on barrier timeout
+	WatchdogProbes  uint64 // probe rendezvous opened by the sync watchdog
 }
 
 // System is a replicated (or baseline) software stack on one machine.
@@ -60,15 +66,22 @@ type System struct {
 	sh   shared
 	reps []*Replica
 
-	syncCounter uint64 // generation allocator (monotonic)
-	releaseGen  uint64 // rendezvous release marker (host-side control)
-	releasedSet uint64 // replicas released from the current rendezvous
-	voteFailGen uint64 // generation whose vote failed (pending masking)
+	syncCounter  uint64 // generation allocator (monotonic)
+	releaseGen   uint64 // rendezvous release marker (host-side control)
+	releasedSet  uint64 // replicas released from the current rendezvous
+	voteFailGen  uint64 // generation whose vote failed (pending masking)
+	lastSyncOpen uint64 // machine time the last generation opened (watchdog)
 
 	detections []Detection
 	halted     bool
 	haltReason string
 	finished   bool
+
+	// reintegratePending is rid+1 of a replica awaiting live
+	// re-integration at the next completed rendezvous (0 = none);
+	// reintegrateErr holds the outcome of the last applied request.
+	reintegratePending int
+	reintegrateErr     error
 
 	stats Stats
 
@@ -138,6 +151,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.TickCycles > 0 {
 		m.AddDevice(&preemptionTimer{period: cfg.TickCycles})
 	}
+	if wd := cfg.watchdogCycles(); wd > 0 && cfg.Mode != ModeNone {
+		m.AddDevice(&syncWatchdog{sys: sys, period: wd})
+	}
 	// All device interrupts initially route to replica 0 (the primary).
 	for line := 0; line < 64; line++ {
 		m.RouteIRQ(line, 0)
@@ -159,6 +175,43 @@ func (t *preemptionTimer) Tick(m *machine.Machine) {
 	if m.Now()%t.period == 0 {
 		m.RaiseIRQ(TimerLine)
 	}
+}
+
+// syncWatchdog guards the liveness of the synchronisation fabric. Every
+// device interrupt routes to the primary, so a primary that silently
+// stops responding leaves its peers spinning on input replication (or
+// idle) forever: no rendezvous ever opens, and the barrier timeout that
+// would identify the straggler never starts counting. When no
+// synchronisation has opened for the watchdog period, the device opens a
+// probe rendezvous and kicks every alive replica with an IPI. Live
+// replicas join the probe from wherever they are — an IPI is an
+// asynchronous kernel entry, not a logged event, so signatures are
+// unaffected — while a dead replica cannot arrive and is ejected through
+// the normal straggler path.
+type syncWatchdog struct {
+	sys    *System
+	period uint64
+}
+
+// watchdogPollMask throttles the per-cycle liveness check (shared-word
+// reads) to every 1024 cycles; the resolution is irrelevant against
+// periods of hundreds of thousands of cycles.
+const watchdogPollMask = 1023
+
+// Tick implements machine.Device.
+func (w *syncWatchdog) Tick(m *machine.Machine) {
+	if m.Now()&watchdogPollMask != 0 {
+		return
+	}
+	s := w.sys
+	if s.halted || s.finished || s.syncPending() {
+		return
+	}
+	if m.Now()-s.lastSyncOpen < w.period {
+		return
+	}
+	s.stats.WatchdogProbes++
+	s.requestSync(-1, 0, 0)
 }
 
 // Machine returns the underlying machine (benchmarks and fault injectors
@@ -252,6 +305,34 @@ func (s *System) halt(reason string) {
 	for _, r := range s.reps {
 		r.Core().Halt()
 	}
+}
+
+// InjectStall marks replica rid to hang at its next kernel entry,
+// simulating a core that silently stops making progress (the fault class
+// behind the paper's barrier-timeout detections). The stall is consumed
+// before any rendezvous bookkeeping, so the replica never arrives and its
+// peers observe a timeout.
+func (s *System) InjectStall(rid int) {
+	if rid >= 0 && rid < len(s.reps) {
+		s.reps[rid].stallPending = true
+	}
+}
+
+// consumeStall parks the replica indefinitely. The park wakes only on a
+// system halt, or once the replica has been voted out (ejected), at which
+// point its core goes offline.
+func (s *System) consumeStall(r *Replica) {
+	r.stallPending = false
+	c := r.Core()
+	c.Park(func() bool {
+		return s.halted || (s.cfg.Mode != ModeNone && !s.sh.alive(r.ID))
+	}, func() {
+		if s.halted {
+			c.Halt()
+			return
+		}
+		c.SetOffline()
+	})
 }
 
 // record appends a detection event.

@@ -21,6 +21,10 @@ func (s *System) HandleTrap(c *machine.Core, t machine.Trap) {
 		c.SetOffline()
 		return
 	}
+	if r.stallPending {
+		s.consumeStall(r)
+		return
+	}
 	// Kernel-text integrity check on entry: a corrupted kernel
 	// fail-stops (the verified-seL4 halt-on-exception behaviour).
 	if !r.K.CheckCanary() || r.K.Err != nil {

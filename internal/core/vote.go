@@ -1,6 +1,10 @@
 package core
 
-import "rcoe/internal/machine"
+import (
+	"fmt"
+
+	"rcoe/internal/machine"
+)
 
 // Downgrade cost model (cycles), calibrated to reproduce the shape of
 // Table X: removing the primary is roughly two orders of magnitude more
@@ -90,21 +94,63 @@ func (s *System) runFaultVote() (int, bool) {
 // interrupts are re-routed, and DMA mappings are reconfigured — the
 // expensive path of Table X.
 func (s *System) downgrade(faulty int) {
+	if !s.removalSafe(faulty, DetectSignatureMismatch) {
+		return
+	}
+	s.record(DetectSignatureMismatch, faulty, true)
+	s.removeReplica(faulty)
+	s.sh.setWord(wVoteOutcome, uint64(faulty)+1)
+}
+
+// ejectStraggler resolves a barrier timeout by voting the non-responsive
+// replica out of a masking TMR configuration — the availability path: the
+// survivors continue as DMR instead of fail-stopping (§IV-A/§IV-C). It
+// returns true when the straggler was ejected and the waiting replicas
+// should re-enter the barrier; on false the system has fail-stopped.
+func (s *System) ejectStraggler(straggler int) bool {
+	if !s.cfg.Masking || s.AliveCount() < 3 {
+		s.record(DetectBarrierTimeout, straggler, false)
+		s.halt(fmt.Sprintf("barrier timeout waiting for replica %d (detection only)", straggler))
+		return false
+	}
+	if !s.removalSafe(straggler, DetectBarrierTimeout) {
+		return false
+	}
+	s.record(DetectBarrierTimeout, straggler, true)
+	s.stats.Ejections++
+	// Unlike a vote-identified replica, a straggler cannot remove itself
+	// at release (it is unresponsive): force its core offline here.
+	s.reps[straggler].Core().SetOffline()
+	s.removeReplica(straggler)
+	return true
+}
+
+// removalSafe checks the §IV-A conditions under which removing a faulty
+// replica is impossible; when unmet it records an unmasked detection of
+// the given kind and fail-stops.
+func (s *System) removalSafe(faulty int, kind DetectionKind) bool {
 	if faulty == s.Primary() && s.sh.word(wIOBusy) != 0 {
 		// A faulty primary may have initiated I/O that could corrupt the
 		// system; downgrading is unsafe (§IV-A).
-		s.record(DetectSignatureMismatch, faulty, false)
+		s.record(kind, faulty, false)
 		s.halt("faulty primary during device I/O")
-		return
+		return false
 	}
 	if faulty == s.Primary() && s.cfg.Mode == ModeCC && !s.cfg.Profile.HasSparePTEBit {
 		// No spare page-table bit to mark DMA buffers: CC masking is
 		// unsupported on this platform (§IV-A).
-		s.record(DetectSignatureMismatch, faulty, false)
+		s.record(kind, faulty, false)
 		s.halt("CC error masking unsupported without a spare PTE bit")
-		return
+		return false
 	}
-	s.record(DetectSignatureMismatch, faulty, true)
+	return true
+}
+
+// removeReplica takes the faulty replica out of the configuration and
+// charges the Table X downgrade cost to the survivors. Removing the
+// primary additionally re-elects, re-routes interrupts, resets the
+// input-replication channel, and reconfigures DMA mappings.
+func (s *System) removeReplica(faulty int) {
 	wasPrimary := faulty == s.Primary()
 	s.sh.removeAlive(faulty)
 	cost := 0
@@ -141,7 +187,6 @@ func (s *System) downgrade(faulty int) {
 		s.reps[rid].Core().AddStall(cost)
 	}
 	s.stats.DowngradeCycles = uint64(cost)
-	s.sh.setWord(wVoteOutcome, uint64(faulty)+1)
 }
 
 // VoteDemo runs the fault-voting algorithm over the given published

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"testing"
 
 	"rcoe/internal/core"
@@ -171,6 +172,45 @@ func TestRecoveryNonPrimaryCheaperThanPrimary(t *testing.T) {
 	t.Logf("primary=%d cycles, other=%d cycles, ratio=%.0fx", prim.Cycles, other.Cycles, ratio)
 	if ratio < 20 {
 		t.Fatalf("primary removal only %.1fx costlier; Table X expects ~2 orders of magnitude", ratio)
+	}
+}
+
+func TestRecoveryNoDowngradeIsSentinel(t *testing.T) {
+	// An injection point beyond the run's operation budget never fires;
+	// the trial must report that with the composable sentinel.
+	_, err := RecoveryTrial(RecoveryOptions{
+		System:         core.Config{Mode: core.ModeLC},
+		FaultyReplica:  2,
+		Operations:     40,
+		InjectAfterOps: 10_000,
+		Seed:           3,
+	})
+	if !errors.Is(err, ErrNoDowngrade) {
+		t.Fatalf("trial without an injection = %v, want ErrNoDowngrade", err)
+	}
+}
+
+func TestRecoveryLiveReintegration(t *testing.T) {
+	// The Fig. 4 timeline with the lifecycle closed: downgrade dip, then a
+	// live re-integration while the clients keep running.
+	res, err := RecoveryTrial(RecoveryOptions{
+		System:        core.Config{Mode: core.ModeLC},
+		FaultyReplica: 2,
+		Reintegrate:   true,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatalf("trial: %v", err)
+	}
+	if !res.Reintegrated {
+		t.Fatalf("replica 2 was not reintegrated")
+	}
+	if res.ReintegrateWindow < res.DowngradeWindow {
+		t.Fatalf("reintegration window %d before downgrade window %d",
+			res.ReintegrateWindow, res.DowngradeWindow)
+	}
+	if res.Ops == 0 || res.Throughput == 0 {
+		t.Fatalf("no client progress across the lifecycle")
 	}
 }
 

@@ -182,6 +182,12 @@ func classify(run *harness.KVRun) (Outcome, bool) {
 			// exceptions" rows).
 			return OutcomeKernelException, true
 		case core.DetectBarrierTimeout:
+			if d.Masked {
+				// A straggler ejected from a masking TMR: the system
+				// continued, so this classifies like any other mask.
+				maskedSeen = true
+				continue
+			}
 			return OutcomeBarrierTimeout, true
 		case core.DetectSignatureMismatch:
 			if d.Masked {

@@ -28,6 +28,10 @@ type RecoveryOptions struct {
 	Records, Operations uint64
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Reintegrate requests a live re-integration of the removed replica
+	// once the downgrade completes, so the Fig. 4 timeline shows both the
+	// downgrade dip and the re-integration dip.
+	Reintegrate bool
 }
 
 // RecoveryResult reports a downgrade measurement.
@@ -45,6 +49,11 @@ type RecoveryResult struct {
 	// DowngradeWindow is the index of the window containing the
 	// downgrade.
 	DowngradeWindow int
+	// ReintegrateWindow is the index of the window containing the live
+	// re-integration (-1 when none was requested or applied).
+	ReintegrateWindow int
+	// Reintegrated reports whether the TMR configuration was restored.
+	Reintegrated bool
 }
 
 // RecoveryTrial runs one masked-downgrade measurement.
@@ -83,7 +92,9 @@ func RecoveryTrial(opts RecoveryOptions) (RecoveryResult, error) {
 	const window = 150_000 // cycles per Fig. 4 throughput sample
 	var res RecoveryResult
 	res.DowngradeWindow = -1
+	res.ReintegrateWindow = -1
 	injected := false
+	reintegrateAsked := false
 	lastOps := uint64(0)
 	var windowOps uint64
 	budget := uint64(1_500_000_000)
@@ -114,6 +125,14 @@ func RecoveryTrial(opts RecoveryOptions) (RecoveryResult, error) {
 			res.DowngradeWindow = len(res.WindowThroughput)
 			res.WasPrimary = opts.FaultyReplica == run.Sys.Primary()
 		}
+		if opts.Reintegrate && injected && !reintegrateAsked &&
+			!run.Sys.Alive(opts.FaultyReplica) {
+			reintegrateAsked = true
+			if err := run.Sys.RequestReintegrate(opts.FaultyReplica); err != nil {
+				return res, err
+			}
+			res.ReintegrateWindow = len(res.WindowThroughput)
+		}
 	}
 	_ = run.Sys.Run(50_000_000)
 	snap := run.Snapshot()
@@ -123,7 +142,8 @@ func RecoveryTrial(opts RecoveryOptions) (RecoveryResult, error) {
 	if !injected || res.Cycles == 0 {
 		return res, ErrNoDowngrade
 	}
-	if run.Sys.Alive(opts.FaultyReplica) {
+	res.Reintegrated = reintegrateAsked && run.Sys.Stats().Reintegrations > 0
+	if !res.Reintegrated && run.Sys.Alive(opts.FaultyReplica) {
 		return res, fmt.Errorf("faults: replica %d was not removed", opts.FaultyReplica)
 	}
 	return res, nil

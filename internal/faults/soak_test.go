@@ -1,0 +1,81 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"rcoe/internal/core"
+)
+
+func TestSoakHoldsInvariants(t *testing.T) {
+	res, err := Soak(SoakOptions{
+		Cycles: 8,
+		Seed:   0xC0FFEE,
+		Log: func(line string) {
+			t.Log(line)
+		},
+	})
+	if err != nil {
+		t.Fatalf("soak: %v (violations: %v)", err, res.Violations)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariants violated: %v", res.Violations)
+	}
+	if len(res.Cycles) != 8 {
+		t.Fatalf("completed %d cycles, want 8", len(res.Cycles))
+	}
+	if res.Ops == 0 || res.MinWindow <= 0 {
+		t.Fatalf("no continuous client progress: ops=%d minWindow=%f", res.Ops, res.MinWindow)
+	}
+	// Every downgrade must have been followed by a successful live
+	// re-integration, and every stall by an ejection.
+	downgrades := uint64(0)
+	for _, c := range res.Cycles {
+		if c.Downgraded {
+			downgrades++
+			if !c.Reintegrated {
+				t.Fatalf("cycle %d downgraded but never reintegrated", c.Index)
+			}
+		}
+		if c.Fault == SoakStall && !c.Ejected {
+			t.Fatalf("cycle %d: stall resolved without ejection", c.Index)
+		}
+	}
+	if downgrades == 0 {
+		t.Fatalf("campaign produced no downgrades at all")
+	}
+	if res.Reintegrations != downgrades {
+		t.Fatalf("reintegrations=%d, downgrades=%d", res.Reintegrations, downgrades)
+	}
+	if res.Tally.Uncontrolled() != 0 {
+		t.Fatalf("uncontrolled outcomes: %v", res.Tally.Counts)
+	}
+}
+
+func TestSoakRejectsDMR(t *testing.T) {
+	_, err := Soak(SoakOptions{
+		System: core.Config{Mode: core.ModeLC, Replicas: 2},
+		Cycles: 1,
+	})
+	if err == nil {
+		t.Fatalf("soak on a DMR system should refuse")
+	}
+}
+
+func TestSoakErrNoEjectionIsSentinel(t *testing.T) {
+	// The sentinel must compose with errors.Is for callers that
+	// distinguish ejection failures from other campaign errors.
+	wrapped := errorsJoin(ErrNoEjection)
+	if !errors.Is(wrapped, ErrNoEjection) {
+		t.Fatalf("wrapped ErrNoEjection not matched by errors.Is")
+	}
+}
+
+func errorsJoin(err error) error {
+	return &wrapErr{err}
+}
+
+type wrapErr struct{ err error }
+
+func (w *wrapErr) Error() string { return "cycle 3: " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }

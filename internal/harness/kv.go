@@ -49,6 +49,13 @@ type KVOptions struct {
 	// RetryCycles is the client's retransmission timeout; requests lost
 	// during a primary failover are retried like any network loss.
 	RetryCycles uint64
+	// RetryBackoff doubles the retransmission timeout on every retry of a
+	// request (capped at 8x), so a client riding out a downgrade or
+	// re-integration window does not flood the recovering server.
+	RetryBackoff bool
+	// MaxRetries overrides the per-request retry budget (default 5);
+	// exceeding it surfaces as a client-visible error.
+	MaxRetries int
 }
 
 // KVResult reports one run's outcome.
@@ -211,11 +218,23 @@ func (r *KVRun) fill() {
 	if retry == 0 {
 		retry = 4_000_000
 	}
+	maxRetries := r.opts.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 5
+	}
 	for id, p := range r.outstanding {
-		if now-p.sentAt < retry {
+		timeout := retry
+		if r.opts.RetryBackoff && p.retries > 0 {
+			shift := p.retries
+			if shift > 3 {
+				shift = 3
+			}
+			timeout = retry << uint(shift)
+		}
+		if now-p.sentAt < timeout {
 			continue
 		}
-		if p.retries >= 5 {
+		if p.retries >= maxRetries {
 			// Persistent loss: surface as a client-visible error.
 			delete(r.outstanding, id)
 			r.res.Errors++

@@ -11,7 +11,7 @@
 //     key-value server, MD5, SPLASH kernels);
 //   - run the paper's experiments (Experiments, RunExperiment);
 //   - run fault-injection campaigns (MemCampaign, RegCampaign,
-//     RecoveryTrial);
+//     RecoveryTrial, Soak);
 //   - drive the Redis-stand-in system benchmark (RunKV).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -212,6 +212,24 @@ type (
 	RecoveryOptions = faults.RecoveryOptions
 	// Outcome classifies a fault trial.
 	Outcome = faults.Outcome
+	// SoakOptions configures the chaos-soak campaign.
+	SoakOptions = faults.SoakOptions
+	// SoakResult summarises a chaos-soak campaign.
+	SoakResult = faults.SoakResult
+	// SoakCycleReport reports one chaos-soak fault cycle.
+	SoakCycleReport = faults.SoakCycle
+)
+
+// Resilience-lifecycle sentinels, composable with errors.Is.
+var (
+	// ErrReintegrate wraps every live re-integration precondition failure.
+	ErrReintegrate = core.ErrReintegrate
+	// ErrNoDowngrade is returned by RecoveryTrial when no downgrade
+	// occurred.
+	ErrNoDowngrade = faults.ErrNoDowngrade
+	// ErrNoEjection is returned by Soak when an injected stall was not
+	// resolved by straggler ejection.
+	ErrNoEjection = faults.ErrNoEjection
 )
 
 // MemCampaign runs the Table VII memory fault-injection study.
@@ -228,6 +246,11 @@ func RegCampaign(opts RegCampaignOptions) (faults.RegTally, error) {
 func RecoveryTrial(opts RecoveryOptions) (faults.RecoveryResult, error) {
 	return faults.RecoveryTrial(opts)
 }
+
+// Soak runs the chaos-soak campaign: repeated randomized faults against a
+// masking TMR key-value system, with straggler ejection and live
+// re-integration after every downgrade.
+func Soak(opts SoakOptions) (SoakResult, error) { return faults.Soak(opts) }
 
 // Experiments: the paper's tables and figures.
 type (
