@@ -78,3 +78,30 @@ func BenchmarkAblateFletcher(b *testing.B) { benchExperiment(b, "ablate-fletcher
 
 // BenchmarkAblateLatency measures detection latency vs tick period.
 func BenchmarkAblateLatency(b *testing.B) { benchExperiment(b, "ablate-latency") }
+
+// BenchmarkTraceOverhead measures the flight recorder's host-time cost on
+// Table II's LC-D Dhrystone configuration. "off" is the shipping default:
+// the hook points are compiled in but each is a single nil check, so the
+// paper-facing experiments (which all run untraced) must see a negligible
+// delta versus a hookless build. "on" records every syscall, tick,
+// barrier and vote event into the rings. Compare ns/op between the two
+// sub-benchmarks; EXPERIMENTS.md records the measured numbers. Neither
+// setting perturbs *simulated* time (see core's zero-perturbation test).
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, enabled bool) {
+		for i := 0; i < b.N; i++ {
+			sys, err := rcoe.BuildSystem(rcoe.Config{
+				Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 20_000,
+				Trace: rcoe.TraceConfig{Enabled: enabled},
+			}, rcoe.Dhrystone(1500))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Run(3_000_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -157,10 +157,16 @@ func runSoak(args []string) int {
 		res.Ops, res.Errors, res.Corruptions)
 	fmt.Printf("ejections: %d  reintegrations: %d  windows: %d  min window: %.1f ops/Mcycle\n",
 		res.Ejections, res.Reintegrations, len(res.Windows), res.MinWindow)
+	fmt.Println()
+	fmt.Println(res.Metrics.Table("soak metrics (cycles unless noted)"))
 	if !res.Ok() {
 		fmt.Println("invariant violations:")
 		for _, v := range res.Violations {
 			fmt.Printf("  %s\n", v)
+		}
+		for _, rep := range res.Forensics {
+			fmt.Println()
+			fmt.Println(rep)
 		}
 		return 1
 	}

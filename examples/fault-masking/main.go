@@ -52,9 +52,11 @@ func run() error {
 	fmt.Println("mappings, making it far more expensive than removing a follower.")
 
 	// Re-integration (§IV-C): bring the removed replica back online by
-	// cloning a survivor's state, restoring full TMR protection.
+	// cloning a survivor's state, restoring full TMR protection. The
+	// flight recorder is on, so the detection freezes a forensic report.
 	sys, err := rcoe.BuildSystem(rcoe.Config{
 		Mode: rcoe.ModeLC, Replicas: 3, Masking: true, TickCycles: 20_000,
+		Trace: rcoe.TraceConfig{Enabled: true},
 	}, rcoe.Dhrystone(60_000))
 	if err != nil {
 		return err
@@ -68,6 +70,10 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nfault masked: running DMR with %d replicas\n", sys.AliveCount())
+	if rep := sys.TakeDivergenceReport(); rep != nil {
+		fmt.Println("\nflight-recorder forensics:")
+		fmt.Println(rep)
+	}
 	if err := sys.Reintegrate(2); err != nil {
 		return err
 	}

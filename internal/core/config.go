@@ -131,6 +131,23 @@ type Config struct {
 	// TraceSeed perturbs nothing functional; it seeds workload-level
 	// randomness so repeated runs differ deterministically.
 	TraceSeed uint64
+	// Trace configures the flight recorder and metrics (off by default;
+	// ~zero cost when disabled).
+	Trace TraceConfig
+}
+
+// TraceConfig configures the observability subsystem: the per-replica
+// flight recorder (internal/trace) and the metric set (internal/metrics).
+// When Enabled is false — the default — the system carries nil recorder
+// and metric pointers and every hook point is a single nil check, so the
+// simulated cycle counts are bit-identical to a build without the
+// subsystem (benchmarked by BenchmarkTraceOverhead).
+type TraceConfig struct {
+	// Enabled turns on event recording and metric collection.
+	Enabled bool
+	// RingEvents is each ring's capacity in events
+	// (trace.DefaultRingEvents when 0).
+	RingEvents int
 }
 
 // withDefaults validates the configuration and fills defaults.

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"rcoe/internal/isa"
+	"rcoe/internal/metrics"
+	"rcoe/internal/trace"
+)
+
+// ErrTraceDisabled is returned by forensic operations when the system was
+// built without Config.Trace.Enabled.
+var ErrTraceDisabled = errors.New("core: trace recording disabled")
+
+// ReplicaForensics is one replica's state context captured at detection
+// time: the full register file, program position, and the published
+// section signature the vote compared.
+type ReplicaForensics struct {
+	ID    int
+	Alive bool
+	// PC and Regs are the core's architectural state at capture.
+	PC   uint64
+	Regs [isa.NumRegs]uint64
+	// Cycles is the core-local cycle count; LC and Branches its logical
+	// position.
+	Cycles   uint64
+	LC       uint64
+	Branches uint64
+	// SigEvents and SigSum are the published signature (the values the
+	// failed vote compared).
+	SigEvents uint64
+	SigSum    uint64
+}
+
+// DivergenceReport is the first-divergence analysis emitted when a fault
+// is detected (signature mismatch, barrier timeout, ejection) or when a
+// caller requests one: the rings are frozen (copied), the replica streams
+// aligned by logical time, and the first disagreeing event identified.
+type DivergenceReport struct {
+	// Reason is a human-readable capture cause.
+	Reason string
+	// Kind is the detection class that triggered the capture (0 for
+	// explicit captures).
+	Kind DetectionKind
+	// Cycle is the machine cycle of the capture.
+	Cycle uint64
+	// Implicated is the replica the detection machinery blamed (vote
+	// loser, straggler), or -1 when it could not decide.
+	Implicated int
+	// Divergence is the trace-alignment result; Divergence.Replica is
+	// the replica the *traces* blame, independently of the vote.
+	Divergence trace.Divergence
+	// Replicas is the per-replica register/signature context.
+	Replicas []ReplicaForensics
+	// Trace is the frozen recorder copy backing the analysis (for
+	// saving with rcoe-trace).
+	Trace *trace.Recorder
+}
+
+// String renders the full report.
+func (d *DivergenceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "divergence report: %s (cycle %d", d.Reason, d.Cycle)
+	if d.Kind != 0 {
+		fmt.Fprintf(&b, ", detection %s", d.Kind)
+	}
+	if d.Implicated >= 0 {
+		fmt.Fprintf(&b, ", vote blames replica %d", d.Implicated)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "%s\n", d.Divergence)
+	for _, rf := range d.Replicas {
+		status := "alive"
+		if !rf.Alive {
+			status = "removed"
+		}
+		fmt.Fprintf(&b, "  replica %d (%s): pc=%#x lc=%d br=%d cycles=%d sig=(%d,%#x)\n",
+			rf.ID, status, rf.PC, rf.LC, rf.Branches, rf.Cycles, rf.SigEvents, rf.SigSum)
+		fmt.Fprintf(&b, "    regs:")
+		for i, v := range rf.Regs {
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " r%d=%#x", i, v)
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// TraceRecorder returns the live flight recorder, or nil when recording
+// is disabled.
+func (s *System) TraceRecorder() *trace.Recorder { return s.rec }
+
+// Metrics returns the live metric set, or nil when disabled (a nil set
+// is safe to observe into).
+func (s *System) Metrics() *metrics.Set { return s.met }
+
+// MetricsSnapshot copies the current metric state. On a system without
+// tracing enabled the snapshot is empty.
+func (s *System) MetricsSnapshot() metrics.Snapshot {
+	return s.met.Snapshot(s.m.Now())
+}
+
+// CaptureForensics freezes the rings and produces a first-divergence
+// report on demand (soak invariant failures, operator requests). It
+// returns ErrTraceDisabled when the system records no traces.
+func (s *System) CaptureForensics(reason string) (*DivergenceReport, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("%w: enable Config.Trace to capture forensics", ErrTraceDisabled)
+	}
+	return s.buildReport(0, -1, reason), nil
+}
+
+// TakeDivergenceReport returns the report captured at the first detection
+// since the last call, and clears it so a later fault cycle can capture
+// afresh. Nil when nothing was captured (or recording is disabled).
+func (s *System) TakeDivergenceReport() *DivergenceReport {
+	rep := s.report
+	s.report = nil
+	return rep
+}
+
+// captureOnDetection freezes the rings at the moment a detection is
+// recorded. First capture wins until TakeDivergenceReport clears it, so
+// the report reflects the original fault, not follow-on detections.
+func (s *System) captureOnDetection(kind DetectionKind, rid int) {
+	if s.rec == nil || s.report != nil {
+		return
+	}
+	s.report = s.buildReport(kind, rid, kind.String())
+}
+
+// buildReport copies the rings ("freeze"), aligns the replica streams by
+// logical time, and assembles the report.
+func (s *System) buildReport(kind DetectionKind, implicated int, reason string) *DivergenceReport {
+	frozen := s.rec.Clone()
+	rep := &DivergenceReport{
+		Reason:     reason,
+		Kind:       kind,
+		Cycle:      s.m.Now(),
+		Implicated: implicated,
+		Divergence: trace.FirstDivergence(frozen.Streams()),
+		Trace:      frozen,
+	}
+	for _, r := range s.reps {
+		c := r.Core()
+		ev, sum := r.K.Signature()
+		rep.Replicas = append(rep.Replicas, ReplicaForensics{
+			ID:        r.ID,
+			Alive:     s.cfg.Mode == ModeNone || s.sh.alive(r.ID),
+			PC:        c.PC,
+			Regs:      c.Regs,
+			Cycles:    c.Cycles,
+			LC:        r.K.EventCount(),
+			Branches:  c.UserBranches,
+			SigEvents: ev,
+			SigSum:    sum,
+		})
+	}
+	return rep
+}
+
+// --- recording hooks ---
+// Every hook is a single nil check when tracing is disabled, and none of
+// them charges simulated cycles: stamping uses EventCount/Signature (pure
+// RAM reads) and core fields directly, never timeOf/AddTrace (which cost
+// stalls). Enabled tracing therefore leaves simulated behaviour
+// bit-identical (TestTraceZeroPerturbation).
+
+// trEvent records a per-replica event stamped with the replica's logical
+// position.
+func (s *System) trEvent(r *Replica, kind trace.Kind, arg1, arg2 uint64) {
+	if s.rec == nil {
+		return
+	}
+	c := r.Core()
+	ev := trace.Event{
+		Cycle:    s.m.Now(),
+		Kind:     kind,
+		LC:       r.K.EventCount(),
+		Branches: c.UserBranches,
+		IP:       c.PC,
+		Arg1:     arg1,
+		Arg2:     arg2,
+	}
+	if kind == trace.KindTick && s.cfg.Mode != ModeCC {
+		// Under LC coupling, preemption legitimately lands on different
+		// instructions in each replica (§III-A): the branch count and IP
+		// at a tick are timing artifacts, not logical state, and must not
+		// feed divergence comparison.
+		ev.Branches, ev.IP = 0, 0
+	}
+	s.rec.Record(r.ID, ev)
+	s.met.TraceEvents.Inc()
+}
+
+// trSys records a system-level event on the system ring.
+func (s *System) trSys(kind trace.Kind, arg1, arg2 uint64) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Record(-1, trace.Event{Cycle: s.m.Now(), Kind: kind, Arg1: arg1, Arg2: arg2})
+	s.met.TraceEvents.Inc()
+}
+
+// wireKernelTrace installs the kernel-side observability hooks for one
+// replica (called at construction and again after re-integration builds a
+// fresh kernel).
+func (s *System) wireKernelTrace(r *Replica) {
+	if s.rec == nil {
+		return
+	}
+	r.K.OnPreempt = func(n uint64) {
+		s.trEvent(r, trace.KindTick, n, 0)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rcoe/internal/trace"
+)
+
+func TestErrTraceDisabled(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000}, syscallLoop(t, 1000))
+	if sys.TraceRecorder() != nil || sys.Metrics() != nil {
+		t.Fatal("recorder/metrics must be nil when Trace is disabled")
+	}
+	_, err := sys.CaptureForensics("operator request")
+	if !errors.Is(err, ErrTraceDisabled) {
+		t.Fatalf("CaptureForensics err = %v, want ErrTraceDisabled", err)
+	}
+	if rep := sys.TakeDivergenceReport(); rep != nil {
+		t.Fatalf("disabled system produced a report: %v", rep)
+	}
+	// The snapshot must be empty, not a panic.
+	if snap := sys.MetricsSnapshot(); len(snap.Hist) != 0 {
+		t.Fatal("disabled system returned a non-empty snapshot")
+	}
+	mustFinish(t, sys, 200_000_000)
+}
+
+func TestTraceRecordsCleanRun(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 20000,
+		Trace: TraceConfig{Enabled: true, RingEvents: 256}}, syscallLoop(t, 5000))
+	mustFinish(t, sys, 200_000_000)
+
+	rec := sys.TraceRecorder()
+	if rec == nil {
+		t.Fatal("no recorder on an enabled system")
+	}
+	for rid := 0; rid < 2; rid++ {
+		if rec.Ring(rid).Total() == 0 {
+			t.Fatalf("replica %d recorded nothing", rid)
+		}
+	}
+	kinds := map[trace.Kind]bool{}
+	for _, ev := range rec.Ring(0).Events() {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []trace.Kind{trace.KindSyscall, trace.KindTick,
+		trace.KindBarrierJoin, trace.KindBarrierRelease, trace.KindFinish} {
+		if !kinds[want] {
+			t.Errorf("replica 0 trace has no %s events", want)
+		}
+	}
+	if rec.System().Total() == 0 {
+		t.Fatal("system ring recorded nothing (no barrier-open/vote events)")
+	}
+	// A clean run has no auto-captured report and agreeing streams.
+	if rep := sys.TakeDivergenceReport(); rep != nil {
+		t.Fatalf("clean run captured a report: %v", rep)
+	}
+	d := trace.FirstDivergence(rec.Streams())
+	if d.Found {
+		t.Fatalf("clean replica streams diverge: %s", d)
+	}
+	// Metrics observed the run.
+	snap := sys.MetricsSnapshot()
+	if snap.Counter("syncs") == 0 || snap.Counter("votes") == 0 {
+		t.Fatalf("no sync/vote counters in snapshot: %+v", snap.Ctr)
+	}
+	if snap.HistByName("barrier-wait").Count == 0 {
+		t.Fatal("no barrier-wait observations")
+	}
+	if snap.Counter("vote-fails") != 0 {
+		t.Fatal("clean run recorded vote failures")
+	}
+}
+
+// TestRegisterFlipDivergenceReport is the acceptance scenario: a seeded
+// register flip on replica 1 of a masking TMR system must produce a
+// first-divergence report that names replica 1 and the first disagreeing
+// event.
+func TestRegisterFlipDivergenceReport(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+		Sig: SigArgs, Masking: true, BarrierTimeout: 300_000,
+		Trace: TraceConfig{Enabled: true, RingEvents: 2048}}, syscallLoop(t, 60_000))
+	sys.RunCycles(100_000)
+
+	// Flip the loop-counter register (r5) of replica 1 and let the system
+	// run; repeat until the fault is detected (a flip can be masked when
+	// it lands while the value is dead).
+	for i := 0; i < 50 && sys.AliveCount() == 3 && !sys.halted; i++ {
+		sys.Replica(1).Core().Regs[5] ^= 1
+		sys.RunCycles(600_000)
+	}
+	if sys.halted {
+		t.Fatalf("system halted instead of masking: %s", sys.haltReason)
+	}
+	if sys.AliveCount() != 2 || sys.Alive(1) {
+		t.Fatalf("replica 1 not voted out (alive=%d, r1=%v)", sys.AliveCount(), sys.Alive(1))
+	}
+
+	rep := sys.TakeDivergenceReport()
+	if rep == nil {
+		t.Fatal("detection did not capture a divergence report")
+	}
+	if rep.Implicated != 1 {
+		t.Fatalf("report implicates replica %d, want 1\n%s", rep.Implicated, rep)
+	}
+	if !rep.Divergence.Found {
+		t.Fatalf("trace alignment found no divergence\n%s", rep)
+	}
+	if rep.Divergence.Replica != 1 {
+		t.Fatalf("trace alignment blames replica %d, want 1\n%s", rep.Divergence.Replica, rep)
+	}
+	if len(rep.Replicas) != 3 {
+		t.Fatalf("report carries %d replica contexts, want 3", len(rep.Replicas))
+	}
+	text := rep.String()
+	for _, want := range []string{"replica 1", "first divergence", "sig="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report text missing %q:\n%s", want, text)
+		}
+	}
+	// The report is frozen: later events must not leak into it.
+	frozen := rep.Trace.Ring(0).Total()
+	sys.RunCycles(500_000)
+	if rep.Trace.Ring(0).Total() != frozen {
+		t.Fatal("report trace is not frozen against further recording")
+	}
+	// First capture wins: the take cleared it, and a fresh explicit
+	// capture still works.
+	if _, err := sys.CaptureForensics("post-mortem"); err != nil {
+		t.Fatalf("explicit capture after take: %v", err)
+	}
+}
+
+// TestTraceZeroPerturbation asserts the zero-perturbation principle: an
+// identical workload runs to the exact same machine cycle with tracing on
+// and off, because no record path charges simulated cycles.
+func TestTraceZeroPerturbation(t *testing.T) {
+	run := func(enabled bool) (cycles uint64, syncs uint64) {
+		sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+			Sig: SigArgs, Masking: true, BarrierTimeout: 300_000,
+			Trace: TraceConfig{Enabled: enabled}}, syscallLoop(t, 20_000))
+		mustFinish(t, sys, 500_000_000)
+		return sys.Machine().Now(), sys.Stats().Syncs
+	}
+	offCycles, offSyncs := run(false)
+	onCycles, onSyncs := run(true)
+	if offCycles != onCycles {
+		t.Fatalf("tracing perturbed the simulation: %d cycles untraced, %d traced", offCycles, onCycles)
+	}
+	if offSyncs != onSyncs {
+		t.Fatalf("tracing changed sync count: %d vs %d", offSyncs, onSyncs)
+	}
+}

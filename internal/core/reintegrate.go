@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rcoe/internal/kernel"
+	"rcoe/internal/trace"
 )
 
 // Re-integration (§IV-C): upgrading a downgraded DMR system back to TMR
@@ -66,6 +67,7 @@ func (s *System) RequestReintegrate(rid int) error {
 	}
 	s.reintegratePending = rid + 1
 	s.reintegrateErr = nil
+	s.reintegrateReqCycle = s.m.Now()
 	return nil
 }
 
@@ -89,6 +91,9 @@ func (s *System) applyPendingReintegrate() {
 		return
 	}
 	s.reintegrateErr = s.doReintegrate(rid)
+	if s.met != nil && s.reintegrateErr == nil {
+		s.met.ReintegrationWindow.Observe(s.m.Now() - s.reintegrateReqCycle)
+	}
 }
 
 // reintegrateCheck validates that replica rid is eligible for
@@ -155,6 +160,9 @@ func (s *System) doReintegrate(rid int) error {
 	target.finished = donor.finished
 	target.chasing = false
 	target.stallPending = false
+	// The fresh kernel carries none of the old one's hooks: re-wire the
+	// flight recorder so ticks keep tracing after re-integration.
+	s.wireKernelTrace(target)
 
 	// Mirror the donor's published shared-block state so the next
 	// rendezvous sees a consistent arrival history.
@@ -185,6 +193,10 @@ func (s *System) doReintegrate(rid int) error {
 		s.reps[id].Core().AddStall(pages * reintegrateCostPerPage / 4)
 	}
 	s.stats.Reintegrations++
+	s.trSys(trace.KindReintegrate, uint64(rid), uint64(donor.ID))
+	if s.met != nil {
+		s.met.Reintegs.Inc()
+	}
 	return nil
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"rcoe/internal/trace"
+)
 
 // syncPending reports whether a synchronisation generation is open.
 func (s *System) syncPending() bool { return s.sh.word(wSyncGen) != 0 }
@@ -37,6 +41,7 @@ func (s *System) requestSync(requester int, kind, lines uint64) {
 	s.syncCounter++
 	s.releasedSet = 0
 	s.lastSyncOpen = s.m.Now()
+	s.trSys(trace.KindBarrierOpen, s.syncCounter, kind)
 	s.sh.setWord(wReleaseGen, 0)
 	s.sh.setWord(wVoteOutcome, 0)
 	s.sh.setWord(wSyncKind, kind)
@@ -103,6 +108,7 @@ func (s *System) enterRendezvous(r *Replica) {
 	s.sh.publishTime(r.ID, lt)
 	s.sh.setRepWord(r.ID, rwArriveGen, gen)
 	s.publishSignature(r)
+	s.trEvent(r, trace.KindBarrierJoin, gen, 0)
 	if debugArrive != nil {
 		debugArrive(r.ID, gen, lt, s.m.Now(), r.Core().Regs[5]<<32|r.Core().Regs[27])
 	}
@@ -145,6 +151,9 @@ func (s *System) catchUp(r *Replica, target logicalTime) {
 		// tight loop costs a debug exception per iteration for the whole
 		// distance (§VI's planned ReVirt-style optimisation).
 		const coarseTail = 8
+		if s.met != nil && target.Branches > my {
+			s.met.CatchUpDeficit.Observe(target.Branches - my)
+		}
 		if target.Branches > my && target.Branches-my > 2*coarseTail {
 			c.BranchWatch.Target = c.UserBranches + (target.Branches - my) - coarseTail
 			c.BranchWatch.Enabled = true
@@ -225,7 +234,20 @@ func (s *System) parkAtRendezvous(r *Replica, gen uint64) {
 // runs the fault-voting algorithm and downgrades or halts (§IV).
 func (s *System) completeRendezvous(gen uint64) {
 	s.stats.Syncs++
-	if !s.compareSignatures() {
+	agreed := s.compareSignatures()
+	if s.met != nil {
+		s.met.Syncs.Inc()
+		s.met.Votes.Inc()
+		s.met.VoteLatency.Observe(s.m.Now() - s.lastSyncOpen)
+	}
+	if s.rec != nil {
+		outcome := uint64(0)
+		if !agreed {
+			outcome = 1
+		}
+		s.trSys(trace.KindVote, gen, outcome)
+	}
+	if !agreed {
 		s.handleVoteFailure()
 		if s.halted {
 			return
@@ -289,6 +311,11 @@ func (s *System) releaseFromRendezvous(r *Replica, gen uint64) {
 		s.deliverLines(r, lines)
 	}
 	s.resetBranchClock(r)
+	if s.rec != nil {
+		wait := r.Core().Cycles - r.barrierStart
+		s.trEvent(r, trace.KindBarrierRelease, gen, wait)
+		s.met.BarrierWait.Observe(wait)
+	}
 	// Republish the post-reset logical time: stale pre-reset values would
 	// look "ahead" to peers and send them chasing ghosts.
 	s.sh.publishTime(r.ID, s.timeOf(r))
@@ -492,6 +519,9 @@ func (s *System) onBreakpoint(r *Replica) {
 		// this is one debug exception; without one (Arm) the kernel must
 		// disable the breakpoint and single-step, paying a second
 		// "mismatch" exception (§III-D).
+		if s.rec != nil {
+			s.trEvent(r, trace.KindCatchUpStep, target.Branches-lt.Branches, target.IP)
+		}
 		if s.cfg.Profile.HasResumeFlag {
 			c.ResumeOnce = true
 		} else {
@@ -587,6 +617,11 @@ func (s *System) eventBarrier(r *Replica, ev uint64, action func(), cont func())
 				c.SetOffline()
 				return
 			}
+			if s.rec != nil {
+				wait := c.Cycles - r.barrierStart
+				s.trEvent(r, trace.KindBarrierRelease, ev, wait)
+				s.met.BarrierWait.Observe(wait)
+			}
 			c.AddStall(40) // barrier bookkeeping
 			cont()
 		default:
@@ -624,6 +659,14 @@ func (s *System) completeEventBarrier(ev uint64, action func()) {
 			equal = false
 			break
 		}
+	}
+	if s.rec != nil {
+		s.met.Votes.Inc()
+		outcome := uint64(0)
+		if !equal {
+			outcome = 1
+		}
+		s.trSys(trace.KindVote, ev, outcome)
 	}
 	if !equal {
 		// The fault-vote algorithm operates on the published comparison

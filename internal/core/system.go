@@ -7,6 +7,8 @@ import (
 	"rcoe/internal/isa"
 	"rcoe/internal/kernel"
 	"rcoe/internal/machine"
+	"rcoe/internal/metrics"
+	"rcoe/internal/trace"
 )
 
 // ErrHalted is returned by Run when the system fail-stopped.
@@ -85,6 +87,18 @@ type System struct {
 
 	stats Stats
 
+	// rec and met are the flight recorder and metric set — both nil
+	// unless Config.Trace.Enabled, so every hook is one nil check when
+	// observability is off. report holds the divergence report captured
+	// at the first detection (first capture wins until taken).
+	rec    *trace.Recorder
+	met    *metrics.Set
+	report *DivergenceReport
+
+	// reintegrateReqCycle is the machine time of the pending live
+	// re-integration request (the re-integration-window metric base).
+	reintegrateReqCycle uint64
+
 	devWindows []devWindow
 
 	primaryChange func(newPrimary int)
@@ -157,6 +171,18 @@ func NewSystem(cfg Config) (*System, error) {
 	// All device interrupts initially route to replica 0 (the primary).
 	for line := 0; line < 64; line++ {
 		m.RouteIRQ(line, 0)
+	}
+	if cfg.Trace.Enabled {
+		sys.rec = trace.NewRecorder(cfg.Replicas, cfg.Trace.RingEvents)
+		sys.met = metrics.New()
+		for _, r := range sys.reps {
+			sys.wireKernelTrace(r)
+		}
+		// Installed after the boot-time routing loop above so the system
+		// ring records only fail-over re-routes, not initialisation.
+		m.OnIRQRoute = func(line, coreID int) {
+			sys.trSys(trace.KindIRQRoute, uint64(line), uint64(coreID))
+		}
 	}
 	return sys, nil
 }
@@ -335,7 +361,9 @@ func (s *System) consumeStall(r *Replica) {
 	})
 }
 
-// record appends a detection event.
+// record appends a detection event. With tracing enabled, the first
+// system-level detection (everything but per-thread user faults) freezes
+// the rings into a first-divergence report.
 func (s *System) record(kind DetectionKind, rid int, masked bool) {
 	s.detections = append(s.detections, Detection{
 		Kind:    kind,
@@ -343,6 +371,9 @@ func (s *System) record(kind DetectionKind, rid int, masked bool) {
 		Replica: rid,
 		Masked:  masked,
 	})
+	if kind != DetectUserFault {
+		s.captureOnDetection(kind, rid)
+	}
 }
 
 // timeOf computes a replica's current logical time. Under LC this is the

@@ -3,6 +3,7 @@ package core
 import (
 	"rcoe/internal/kernel"
 	"rcoe/internal/machine"
+	"rcoe/internal/trace"
 )
 
 // HandleTrap implements machine.TrapHandler: it is the replicated kernel's
@@ -117,6 +118,7 @@ func (s *System) onUserFault(r *Replica, t machine.Trap) {
 		r.UserMemFaults++
 	}
 	s.record(DetectUserFault, r.ID, false)
+	s.trEvent(r, trace.KindUserFault, uint64(t.Kind), t.Addr)
 	k := r.K
 	if s.cfg.Mode == ModeNone {
 		if !k.ExitCurrent(^uint64(0)) {
@@ -149,6 +151,7 @@ func (s *System) onSyscall(r *Replica, t machine.Trap) {
 	args := [4]uint64{c.Regs[1], c.Regs[2], c.Regs[3], c.Regs[4]}
 	ev := k.BumpEvent()
 	k.Syscalls++
+	s.trEvent(r, trace.KindSyscall, uint64(uint32(num)), args[0])
 	if s.cfg.Mode != ModeNone {
 		if r.chasing {
 			// A syscall while chasing means the replica diverged from
@@ -293,6 +296,10 @@ func (s *System) sysExit(r *Replica, code uint64) {
 // meet at a final rendezvous and vote before declaring success.
 func (s *System) finishReplica(r *Replica) {
 	r.finished = true
+	if s.rec != nil {
+		_, sum := r.K.Signature()
+		s.trEvent(r, trace.KindFinish, sum, 0)
+	}
 	s.sh.setRepWord(r.ID, rwDoneFlag, 1)
 	if s.cfg.Mode == ModeNone {
 		r.Core().Halt()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rcoe/internal/machine"
+	"rcoe/internal/trace"
 )
 
 // Downgrade cost model (cycles), calibrated to reproduce the shape of
@@ -22,6 +23,9 @@ const (
 // (detection only), or run the fault-voting algorithm and downgrade for a
 // masking TMR configuration (§IV).
 func (s *System) handleVoteFailure() {
+	if s.met != nil {
+		s.met.VoteFails.Inc()
+	}
 	if !s.cfg.Masking || s.AliveCount() < 3 {
 		s.record(DetectSignatureMismatch, -1, false)
 		s.halt("signature mismatch (DMR: detection only)")
@@ -98,6 +102,10 @@ func (s *System) downgrade(faulty int) {
 		return
 	}
 	s.record(DetectSignatureMismatch, faulty, true)
+	s.trSys(trace.KindEject, uint64(faulty), uint64(DetectSignatureMismatch))
+	if s.met != nil {
+		s.met.Ejections.Inc()
+	}
 	s.removeReplica(faulty)
 	s.sh.setWord(wVoteOutcome, uint64(faulty)+1)
 }
@@ -118,6 +126,10 @@ func (s *System) ejectStraggler(straggler int) bool {
 	}
 	s.record(DetectBarrierTimeout, straggler, true)
 	s.stats.Ejections++
+	s.trSys(trace.KindEject, uint64(straggler), uint64(DetectBarrierTimeout))
+	if s.met != nil {
+		s.met.Ejections.Inc()
+	}
 	// Unlike a vote-identified replica, a straggler cannot remove itself
 	// at release (it is unresponsive): force its core offline here.
 	s.reps[straggler].Core().SetOffline()
@@ -187,6 +199,9 @@ func (s *System) removeReplica(faulty int) {
 		s.reps[rid].Core().AddStall(cost)
 	}
 	s.stats.DowngradeCycles = uint64(cost)
+	if s.met != nil {
+		s.met.DowngradeCost.Observe(uint64(cost))
+	}
 }
 
 // VoteDemo runs the fault-voting algorithm over the given published

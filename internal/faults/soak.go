@@ -6,6 +6,7 @@ import (
 
 	"rcoe/internal/core"
 	"rcoe/internal/harness"
+	"rcoe/internal/metrics"
 	"rcoe/internal/workload"
 )
 
@@ -68,6 +69,18 @@ type SoakCycle struct {
 	Ejected bool
 	// MachineCycles is the simulated time the cycle consumed.
 	MachineCycles uint64
+	// DetectLatency is the cycles from injection to the detection that
+	// removed the replica (0 when the fault had no effect).
+	DetectLatency uint64
+	// DowngradeCost is the cycles the survivors were stalled by the
+	// removal (Table X's downgrade cost for this cycle).
+	DowngradeCost uint64
+	// ReintegrationWindow is the cycles from the re-integration request
+	// to the completed DMR->TMR upgrade.
+	ReintegrationWindow uint64
+	// Forensic is the flight-recorder divergence report captured at the
+	// detection that removed the replica (nil when nothing was detected).
+	Forensic *core.DivergenceReport
 }
 
 // SoakResult summarises a campaign.
@@ -87,6 +100,13 @@ type SoakResult struct {
 	Reintegrations uint64
 	// Violations lists broken invariants (empty on a clean campaign).
 	Violations []string
+	// Forensics holds the divergence reports of every unexpected outcome
+	// (uncontrolled cycle, halt, failed ejection/re-integration) so a
+	// broken campaign ships its own flight-recorder evidence.
+	Forensics []*core.DivergenceReport
+	// Metrics is the system's final metrics snapshot (barrier waits, vote
+	// latencies, detection latencies, window throughput, ...).
+	Metrics metrics.Snapshot
 }
 
 // Ok reports whether the campaign held its invariants.
@@ -161,6 +181,12 @@ func Soak(opts SoakOptions) (SoakResult, error) {
 	if sys.Replicas < 3 {
 		return SoakResult{}, fmt.Errorf("faults: soak needs a TMR system, got %d replicas", sys.Replicas)
 	}
+	// The soak is a forensics campaign: always fly with the recorder on,
+	// so every detection carries a first-divergence report and the final
+	// result a metrics snapshot.
+	if !sys.Trace.Enabled {
+		sys.Trace = core.TraceConfig{Enabled: true}
+	}
 
 	run, err := harness.NewKV(harness.KVOptions{
 		System:   sys,
@@ -177,6 +203,9 @@ func Soak(opts SoakOptions) (SoakResult, error) {
 		RetryCycles:  250_000,
 		RetryBackoff: true,
 		MaxRetries:   12,
+		// Feed the per-window KV-throughput histogram alongside the
+		// campaign's own availability windows.
+		WindowCycles: opts.WindowCycles,
 	})
 	if err != nil {
 		return SoakResult{}, err
@@ -200,8 +229,13 @@ func Soak(opts SoakOptions) (SoakResult, error) {
 		res.Cycles = append(res.Cycles, cyc)
 		res.Tally.Add(cyc.Outcome, 1)
 		if opts.Log != nil {
-			opts.Log(fmt.Sprintf("cycle %2d: %-8s replica %d -> %s (downgraded=%v reintegrated=%v)",
-				i, cyc.Fault, cyc.Target, cyc.Outcome, cyc.Downgraded, cyc.Reintegrated))
+			line := fmt.Sprintf("cycle %2d: %-8s replica %d -> %s (downgraded=%v reintegrated=%v)",
+				i, cyc.Fault, cyc.Target, cyc.Outcome, cyc.Downgraded, cyc.Reintegrated)
+			if cyc.Downgraded {
+				line += fmt.Sprintf(" detect=%d downgrade=%d reint-window=%d",
+					cyc.DetectLatency, cyc.DowngradeCost, cyc.ReintegrationWindow)
+			}
+			opts.Log(line)
 		}
 		if err != nil {
 			finishSoak(st, &res)
@@ -228,8 +262,12 @@ func finishSoak(st *soakState, res *SoakResult) {
 			res.MinWindow = w
 		}
 	}
+	res.Metrics = st.run.Sys.MetricsSnapshot()
 	if halted, reason := st.run.Sys.Halted(); halted {
 		res.Violations = append(res.Violations, "system halted: "+reason)
+		if rep := soakForensic(st.run.Sys, "system halted: "+reason); rep != nil {
+			res.Forensics = append(res.Forensics, rep)
+		}
 	}
 	if res.Corruptions > 0 {
 		res.Violations = append(res.Violations,
@@ -249,8 +287,25 @@ func finishSoak(st *soakState, res *SoakResult) {
 		if c.Outcome.Observable() && !c.Outcome.Controlled() {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("cycle %d: uncontrolled outcome %s", c.Index, c.Outcome))
+			if c.Forensic != nil {
+				res.Forensics = append(res.Forensics, c.Forensic)
+			}
 		}
 	}
+}
+
+// soakForensic returns the flight-recorder evidence for an unexpected
+// outcome: the auto-captured divergence report if a detection froze one,
+// otherwise a fresh explicit capture of the current system state.
+func soakForensic(sys *core.System, reason string) *core.DivergenceReport {
+	if rep := sys.TakeDivergenceReport(); rep != nil {
+		return rep
+	}
+	rep, err := sys.CaptureForensics("soak: " + reason)
+	if err != nil {
+		return nil
+	}
+	return rep
 }
 
 // soakCycle injects one randomized fault, waits for the system to mask it
@@ -301,10 +356,12 @@ func soakCycle(st *soakState, r *rng, index int, budget uint64) (SoakCycle, erro
 	if !downgraded {
 		if halted, reason := sys.Halted(); halted {
 			cyc.Outcome = soakOutcome(st, preSnap, cyc)
+			cyc.Forensic = soakForensic(sys, "system halted: "+reason)
 			return cyc, fmt.Errorf("faults: cycle %d: system halted: %s", index, reason)
 		}
 		if cyc.Fault == SoakStall {
 			cyc.Outcome = OutcomeBarrierTimeout
+			cyc.Forensic = soakForensic(sys, "straggler not ejected")
 			return cyc, fmt.Errorf("%w: cycle %d, replica %d", ErrNoEjection, index, cyc.Target)
 		}
 		cyc.Outcome = soakOutcome(st, preSnap, cyc)
@@ -312,7 +369,22 @@ func soakCycle(st *soakState, r *rng, index int, budget uint64) (SoakCycle, erro
 		return cyc, nil
 	}
 	cyc.Downgraded = true
-	cyc.Ejected = run.Snapshot().Stats.Ejections > preEject
+	postSnap := run.Snapshot()
+	cyc.Ejected = postSnap.Stats.Ejections > preEject
+	cyc.DowngradeCost = postSnap.Stats.DowngradeCycles
+	// Detection latency: injection happened at cycle start; the removal's
+	// detection record carries the cycle it fired at.
+	if dets := postSnap.Detections; len(dets) > 0 {
+		if det := dets[len(dets)-1]; det.Cycle >= start {
+			cyc.DetectLatency = det.Cycle - start
+			if met := sys.Metrics(); met != nil {
+				met.DetectLatency.Observe(cyc.DetectLatency)
+			}
+		}
+	}
+	// Drain the auto-captured divergence report so the next cycle's
+	// detection can freeze a fresh one (first capture wins).
+	cyc.Forensic = sys.TakeDivergenceReport()
 
 	// Phase 2: live re-integration of whichever replica was removed.
 	removed := -1
@@ -321,16 +393,21 @@ func soakCycle(st *soakState, r *rng, index int, budget uint64) (SoakCycle, erro
 			removed = rid
 		}
 	}
+	reqCycle := m.Now()
 	if err := sys.RequestReintegrate(removed); err != nil {
 		return cyc, fmt.Errorf("faults: cycle %d: %w", index, err)
 	}
 	target := run.Snapshot().Stats.Reintegrations + 1
 	if !st.pump(func() bool { return run.Snapshot().Stats.Reintegrations >= target }, budget) {
 		_, rerr := sys.ReintegrateOutcome()
+		if cyc.Forensic == nil {
+			cyc.Forensic = soakForensic(sys, "reintegration did not complete")
+		}
 		return cyc, fmt.Errorf("faults: cycle %d: reintegration of replica %d did not complete (err=%v)",
 			index, removed, rerr)
 	}
 	cyc.Reintegrated = true
+	cyc.ReintegrationWindow = m.Now() - reqCycle
 
 	// Phase 3: settle — the restored TMR must vote cleanly for a while
 	// before the next fault lands.

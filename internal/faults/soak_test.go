@@ -28,13 +28,25 @@ func TestSoakHoldsInvariants(t *testing.T) {
 		t.Fatalf("no continuous client progress: ops=%d minWindow=%f", res.Ops, res.MinWindow)
 	}
 	// Every downgrade must have been followed by a successful live
-	// re-integration, and every stall by an ejection.
+	// re-integration, and every stall by an ejection. Each downgrade
+	// carries its forensic numbers and a frozen divergence report.
 	downgrades := uint64(0)
 	for _, c := range res.Cycles {
 		if c.Downgraded {
 			downgrades++
 			if !c.Reintegrated {
 				t.Fatalf("cycle %d downgraded but never reintegrated", c.Index)
+			}
+			if c.DetectLatency == 0 || c.ReintegrationWindow == 0 {
+				t.Fatalf("cycle %d: missing latency forensics: detect=%d reint=%d",
+					c.Index, c.DetectLatency, c.ReintegrationWindow)
+			}
+			if c.Forensic == nil {
+				t.Fatalf("cycle %d downgraded without a divergence report", c.Index)
+			}
+			if c.Forensic.Implicated != c.Target {
+				t.Fatalf("cycle %d: report implicates replica %d, fault hit %d",
+					c.Index, c.Forensic.Implicated, c.Target)
 			}
 		}
 		if c.Fault == SoakStall && !c.Ejected {
@@ -49,6 +61,22 @@ func TestSoakHoldsInvariants(t *testing.T) {
 	}
 	if res.Tally.Uncontrolled() != 0 {
 		t.Fatalf("uncontrolled outcomes: %v", res.Tally.Counts)
+	}
+	// The metrics snapshot covers the whole campaign: detection latency
+	// per downgrade, and the per-window throughput histogram.
+	if got := res.Metrics.HistByName("detect-latency").Count; got != downgrades {
+		t.Fatalf("detect-latency observations = %d, want %d", got, downgrades)
+	}
+	if res.Metrics.HistByName("kv-window-ops").Count == 0 {
+		t.Fatal("no kv-window-ops observations in the snapshot")
+	}
+	if res.Metrics.HistByName("reintegration-window").Count != downgrades {
+		t.Fatalf("reintegration-window observations = %d, want %d",
+			res.Metrics.HistByName("reintegration-window").Count, downgrades)
+	}
+	// A clean campaign ships no unexpected-outcome forensic bundles.
+	if len(res.Forensics) != 0 {
+		t.Fatalf("clean campaign attached %d forensic bundles", len(res.Forensics))
 	}
 }
 

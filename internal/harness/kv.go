@@ -56,6 +56,11 @@ type KVOptions struct {
 	// MaxRetries overrides the per-request retry budget (default 5);
 	// exceeding it surfaces as a client-visible error.
 	MaxRetries int
+	// WindowCycles, when nonzero on a system that records metrics
+	// (System.Trace.Enabled), observes the completed operations of every
+	// fixed-size cycle window into the kv-window-ops histogram — the
+	// availability signal fault campaigns read off the snapshot.
+	WindowCycles uint64
 }
 
 // KVResult reports one run's outcome.
@@ -94,6 +99,8 @@ type KVRun struct {
 	opsSent     uint64
 	startCyc    uint64
 	endCyc      uint64
+	winNext     uint64
+	winLastOps  uint64
 	res         KVResult
 }
 
@@ -329,6 +336,27 @@ func (r *KVRun) StepChunk(n uint64) {
 	r.fill()
 	r.Sys.RunCycles(n)
 	r.drain()
+	r.observeWindows()
+}
+
+// observeWindows feeds per-window completed-op counts into the system's
+// kv-window-ops histogram. Windows start at the first run-phase op so the
+// load phase does not pollute the throughput signal.
+func (r *KVRun) observeWindows() {
+	met := r.Sys.Metrics()
+	if met == nil || r.opts.WindowCycles == 0 || r.startCyc == 0 {
+		return
+	}
+	now := r.Sys.Machine().Now()
+	if r.winNext == 0 {
+		r.winNext = r.startCyc + r.opts.WindowCycles
+		r.winLastOps = 0
+	}
+	for now >= r.winNext {
+		met.KVWindowOps.Observe(r.opsDone - r.winLastOps)
+		r.winLastOps = r.opsDone
+		r.winNext += r.opts.WindowCycles
+	}
 }
 
 // Run drives the system to completion and returns the result.

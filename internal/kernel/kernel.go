@@ -69,6 +69,11 @@ type Kernel struct {
 	// dispatched system calls (reporting only).
 	Preemptions uint64
 	Syscalls    uint64
+
+	// OnPreempt, when set, observes every delivered preemption (the
+	// flight recorder's tick event source). It must not perturb kernel
+	// or machine state.
+	OnPreempt func(preemptions uint64)
 }
 
 // New creates a kernel for replica rid on the given core, with its
@@ -247,6 +252,9 @@ func (k *Kernel) Schedule() bool {
 // agreed logical time.
 func (k *Kernel) Preempt() {
 	k.Preemptions++
+	if k.OnPreempt != nil {
+		k.OnPreempt(k.Preemptions)
+	}
 	if k.cur >= 0 {
 		k.SaveContext()
 		k.threads[k.cur].State = ThreadReady

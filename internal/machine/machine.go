@@ -45,6 +45,11 @@ type Machine struct {
 	// re-routes them when the primary is removed (§IV-A).
 	irqRoute [64]int
 
+	// OnIRQRoute, when set, observes every interrupt re-route (the
+	// flight recorder logs primary fail-overs through it). It must not
+	// perturb machine state.
+	OnIRQRoute func(line, coreID int)
+
 	now uint64
 }
 
@@ -107,7 +112,12 @@ func (m *Machine) MapMMIO(base, size uint64, dev MMIOHandler) {
 func (m *Machine) AddDevice(d Device) { m.devices = append(m.devices, d) }
 
 // RouteIRQ directs a device interrupt line to a core.
-func (m *Machine) RouteIRQ(line, coreID int) { m.irqRoute[line] = coreID }
+func (m *Machine) RouteIRQ(line, coreID int) {
+	m.irqRoute[line] = coreID
+	if m.OnIRQRoute != nil {
+		m.OnIRQRoute(line, coreID)
+	}
+}
 
 // IRQRoute returns the core a line is routed to.
 func (m *Machine) IRQRoute(line int) int { return m.irqRoute[line] }

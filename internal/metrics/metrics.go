@@ -1,0 +1,335 @@
+// Package metrics implements the cheap observability counters for the
+// replication layer: monotonic counters and fixed-bucket power-of-two
+// histograms. Everything is allocation-free on the observe path and safe
+// to leave compiled into hot paths behind a single nil check — a System
+// without metrics enabled carries a nil *Set.
+//
+// Rendering builds on internal/stats so the snapshot tables match the
+// paper-style output of the benchmark runners.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"rcoe/internal/stats"
+)
+
+// Counter is a monotonic event counter.
+type Counter struct{ n uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// HistBuckets is the fixed bucket count of every histogram: bucket i
+// holds observations in [2^(i-1), 2^i), bucket 0 holds zero, and the last
+// bucket absorbs everything larger. 64 buckets cover the full uint64
+// range, so nothing ever clips.
+const HistBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram. Observe costs one
+// bit-scan and three adds; there is no allocation and no locking (the
+// simulator is single-threaded by construction).
+type Histogram struct {
+	buckets [HistBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// bucketOf maps a value to its bucket index: 0 for 0, else 1+floor(log2).
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v) // 1..64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// upper edge of the bucket containing that rank. Bucket resolution is a
+// factor of two, which is plenty for latency triage.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			upper := uint64(1) << uint(i)
+			if i >= 64 {
+				upper = h.max
+			}
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper - boundAdjust(upper, h.max)
+		}
+	}
+	return h.max
+}
+
+// boundAdjust trims the open upper bucket edge back to an inclusive
+// value without underflowing past max.
+func boundAdjust(upper, max uint64) uint64 {
+	if upper == max {
+		return 0
+	}
+	return 1
+}
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	if h.Count() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.0f min=%d p50<=%d p99<=%d max=%d",
+		h.Count(), h.Mean(), h.Min(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// Set bundles every metric the replication layer maintains. A nil *Set
+// is valid and records nothing — that is the disabled state.
+type Set struct {
+	// BarrierWait is the cycles each replica spends parked at a
+	// rendezvous before release.
+	BarrierWait Histogram
+	// VoteLatency is the cycles from a synchronisation generation
+	// opening to its signature vote completing.
+	VoteLatency Histogram
+	// CatchUpDeficit is the branch deficit at the moment a lagging
+	// replica begins breakpoint catch-up (CC mode).
+	CatchUpDeficit Histogram
+	// DetectLatency is the cycles from fault injection to detection
+	// (populated by the fault campaigns, which know injection time).
+	DetectLatency Histogram
+	// DowngradeCost is the cycles charged to reconfigure after removing
+	// a replica (TMR->DMR).
+	DowngradeCost Histogram
+	// ReintegrationWindow is the cycles from a re-integration request to
+	// the restored replica running.
+	ReintegrationWindow Histogram
+	// KVWindowOps is the per-measurement-window completed KV operations
+	// (the Fig 4 throughput-dip signal).
+	KVWindowOps Histogram
+
+	// Counters.
+	Syncs       Counter
+	Votes       Counter
+	VoteFails   Counter
+	Ejections   Counter
+	Reintegs    Counter
+	TraceEvents Counter
+}
+
+// New returns an enabled, empty metric set.
+func New() *Set { return &Set{} }
+
+// Snapshot is an immutable copy of a Set taken at a point in time.
+type Snapshot struct {
+	At   uint64 // machine cycle of the snapshot
+	Hist []HistSnapshot
+	Ctr  []CtrSnapshot
+}
+
+// HistSnapshot is one histogram's summary statistics.
+type HistSnapshot struct {
+	Name  string
+	Unit  string
+	Count uint64
+	Mean  float64
+	Min   uint64
+	P50   uint64
+	P99   uint64
+	Max   uint64
+}
+
+// CtrSnapshot is one counter's value.
+type CtrSnapshot struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot copies the current state. Safe on a nil set (returns an empty
+// snapshot).
+func (s *Set) Snapshot(atCycle uint64) Snapshot {
+	snap := Snapshot{At: atCycle}
+	if s == nil {
+		return snap
+	}
+	hists := []struct {
+		name, unit string
+		h          *Histogram
+	}{
+		{"barrier-wait", "cycles", &s.BarrierWait},
+		{"vote-latency", "cycles", &s.VoteLatency},
+		{"catch-up-deficit", "branches", &s.CatchUpDeficit},
+		{"detect-latency", "cycles", &s.DetectLatency},
+		{"downgrade-cost", "cycles", &s.DowngradeCost},
+		{"reintegration-window", "cycles", &s.ReintegrationWindow},
+		{"kv-window-ops", "ops", &s.KVWindowOps},
+	}
+	for _, e := range hists {
+		snap.Hist = append(snap.Hist, HistSnapshot{
+			Name: e.name, Unit: e.unit,
+			Count: e.h.Count(), Mean: e.h.Mean(), Min: e.h.Min(),
+			P50: e.h.Quantile(0.50), P99: e.h.Quantile(0.99), Max: e.h.Max(),
+		})
+	}
+	ctrs := []struct {
+		name string
+		c    *Counter
+	}{
+		{"syncs", &s.Syncs},
+		{"votes", &s.Votes},
+		{"vote-fails", &s.VoteFails},
+		{"ejections", &s.Ejections},
+		{"reintegrations", &s.Reintegs},
+		{"trace-events", &s.TraceEvents},
+	}
+	for _, e := range ctrs {
+		snap.Ctr = append(snap.Ctr, CtrSnapshot{Name: e.name, Value: e.c.Value()})
+	}
+	return snap
+}
+
+// Table renders the snapshot as an aligned paper-style table, omitting
+// empty histograms.
+func (s Snapshot) Table(title string) string {
+	t := stats.NewTable(title, "metric", "n", "mean", "min", "p50<=", "p99<=", "max", "unit")
+	rows := 0
+	for _, h := range s.Hist {
+		if h.Count == 0 {
+			continue
+		}
+		t.AddRow(h.Name, fmt.Sprintf("%d", h.Count), fmt.Sprintf("%.0f", h.Mean),
+			fmt.Sprintf("%d", h.Min), fmt.Sprintf("%d", h.P50),
+			fmt.Sprintf("%d", h.P99), fmt.Sprintf("%d", h.Max), h.Unit)
+		rows++
+	}
+	var b strings.Builder
+	if rows > 0 {
+		b.WriteString(t.String())
+	} else {
+		fmt.Fprintf(&b, "%s: no histogram observations\n", title)
+	}
+	ct := stats.NewTable("", "counter", "value")
+	crows := 0
+	for _, c := range s.Ctr {
+		if c.Value == 0 {
+			continue
+		}
+		ct.AddRow(c.Name, fmt.Sprintf("%d", c.Value))
+		crows++
+	}
+	if crows > 0 {
+		b.WriteString(ct.String())
+	}
+	return b.String()
+}
+
+// Hist returns the named histogram snapshot (zero value if absent).
+func (s Snapshot) HistByName(name string) HistSnapshot {
+	for _, h := range s.Hist {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistSnapshot{}
+}
+
+// Counter returns the named counter value (0 if absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Ctr {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}

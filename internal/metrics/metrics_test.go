@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 2106 {
+		t.Fatalf("Sum = %d, want 2106", h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 1000 {
+		t.Fatalf("Min/Max = %d/%d, want 0/1000", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got < 300 || got > 302 {
+		t.Fatalf("Mean = %.2f, want ~300.86", got)
+	}
+	// p50 of {0,1,2,3,100,1000,1000}: rank 3 -> value 3, bucket [2,4),
+	// upper edge inclusive 3.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	// p99 lands in the top bucket; upper bound clamps to max.
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %d, want 1000 (clamped to max)", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d, want 0", q)
+	}
+}
+
+func TestHistogramPowerOfTwoBuckets(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 40, 41}, {^uint64(0), 64}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestNilSetIsSafe(t *testing.T) {
+	var s *Set
+	// Every disabled-path call must be a no-op, not a panic.
+	s.Snapshot(0)
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	var c *Counter
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read as zero")
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	s := New()
+	for i := uint64(1); i <= 100; i++ {
+		s.BarrierWait.Observe(i * 10)
+	}
+	s.VoteLatency.Observe(5000)
+	s.Syncs.Add(100)
+	s.Votes.Inc()
+
+	snap := s.Snapshot(123456)
+	if snap.At != 123456 {
+		t.Fatalf("At = %d", snap.At)
+	}
+	bw := snap.HistByName("barrier-wait")
+	if bw.Count != 100 || bw.Min != 10 || bw.Max != 1000 {
+		t.Fatalf("barrier-wait snapshot = %+v", bw)
+	}
+	if snap.Counter("syncs") != 100 || snap.Counter("votes") != 1 {
+		t.Fatal("counter snapshot wrong")
+	}
+	if snap.Counter("nonexistent") != 0 {
+		t.Fatal("unknown counter should read 0")
+	}
+
+	tbl := snap.Table("metrics")
+	for _, want := range []string{"barrier-wait", "vote-latency", "syncs", "cycles", "p99<="} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	// Empty histograms are omitted.
+	if strings.Contains(tbl, "downgrade-cost") {
+		t.Fatalf("empty histogram rendered:\n%s", tbl)
+	}
+}
+
+func TestSnapshotOnNilSet(t *testing.T) {
+	var s *Set
+	snap := s.Snapshot(9)
+	if len(snap.Hist) != 0 || len(snap.Ctr) != 0 {
+		t.Fatal("nil set snapshot must be empty")
+	}
+	if !strings.Contains(snap.Table("empty"), "no histogram observations") {
+		t.Fatal("empty snapshot table should say so")
+	}
+}

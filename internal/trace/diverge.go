@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence is the result of aligning replica event streams by logical
+// time and scanning for the first disagreement.
+type Divergence struct {
+	// Found reports whether any disagreement was located.
+	Found bool
+	// Index is the position (within the aligned comparable streams) of
+	// the first disagreeing event.
+	Index int
+	// LC is the logical event count at which the streams disagree (the
+	// smallest LC among the events at the divergence point).
+	LC uint64
+	// Replica is the replica identified as the odd one out by majority
+	// over the events at the divergence point, or -1 when no majority
+	// exists (all streams mutually disagree, or DMR).
+	Replica int
+	// Events holds, per replica, the event at the divergence point;
+	// Missing marks replicas whose stream ended before that point.
+	Events  []Event
+	Missing []bool
+	// AlignedFrom is the logical time the comparison started at: rings
+	// wrap independently, so streams are trimmed to the newest common
+	// window before comparing.
+	AlignedFrom uint64
+	// Truncated reports that wraparound discarded unequal prefixes, so
+	// an earlier divergence could have been lost.
+	Truncated bool
+	// Compared is how many aligned events agreed before the divergence
+	// (or in total when Found is false).
+	Compared int
+}
+
+// comparable filters a stream down to the replica-symmetric deterministic
+// kinds (see Kind.Comparable).
+func comparableEvents(stream []Event) []Event {
+	out := make([]Event, 0, len(stream))
+	for _, ev := range stream {
+		if ev.Kind.Comparable() {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FirstDivergence aligns the given per-replica event streams by logical
+// time and returns the first event at which they disagree. Streams are
+// the retained ring contents, oldest first (Recorder.Streams). Rings wrap
+// independently — a straggler records fewer events per unit time — so the
+// streams are first trimmed to the newest window they all cover:
+// alignment starts at the maximum over replicas of each stream's first
+// retained logical time. To stay conservative at the boundary, events at
+// exactly the start LC are dropped too (a ring may retain only part of
+// that LC's events); Truncated is set whenever trimming occurred.
+func FirstDivergence(streams [][]Event) Divergence {
+	n := len(streams)
+	div := Divergence{Replica: -1, Events: make([]Event, n), Missing: make([]bool, n)}
+	if n < 2 {
+		return div
+	}
+	cmp := make([][]Event, n)
+	for i, s := range streams {
+		cmp[i] = comparableEvents(s)
+	}
+	// Newest common window: when streams start at different logical
+	// times (a ring wrapped, or a replica joined late), trim every stream
+	// to the maximum first-retained LC. Events at exactly that LC are
+	// dropped too — the wrapped ring may retain only part of them.
+	var start uint64
+	seen, same := false, true
+	for _, s := range cmp {
+		if len(s) == 0 {
+			continue
+		}
+		first := s[0].LC
+		if !seen {
+			start, seen = first, true
+			continue
+		}
+		if first != start {
+			same = false
+		}
+		if first > start {
+			start = first
+		}
+	}
+	if seen && !same {
+		for i, s := range cmp {
+			k := 0
+			for k < len(s) && s[k].LC <= start {
+				k++
+			}
+			cmp[i] = s[k:]
+		}
+		div.Truncated = true
+	}
+	div.AlignedFrom = start
+
+	// Walk the aligned streams in lockstep.
+	for idx := 0; ; idx++ {
+		present := 0
+		for i := range cmp {
+			if idx < len(cmp[i]) {
+				present++
+			}
+		}
+		if present == 0 {
+			return div // all streams exhausted in agreement
+		}
+		if present < n {
+			// Some stream ended early. A shorter stream is only a
+			// divergence if another stream has more events: the missing
+			// replica stopped producing comparable events (hung, ejected,
+			// or diverged into silence).
+			div.Found = true
+			div.Index = idx
+			for i := range cmp {
+				if idx < len(cmp[i]) {
+					div.Events[i] = cmp[i][idx]
+				} else {
+					div.Missing[i] = true
+				}
+			}
+			div.LC = minPresentLC(div.Events, div.Missing)
+			div.Replica = oddReplica(div.Events, div.Missing)
+			return div
+		}
+		row := make([]Event, n)
+		for i := range cmp {
+			row[i] = cmp[i][idx]
+		}
+		if !allAgree(row) {
+			div.Found = true
+			div.Index = idx
+			copy(div.Events, row)
+			div.LC = minPresentLC(row, div.Missing)
+			div.Replica = oddReplica(row, div.Missing)
+			return div
+		}
+		div.Compared++
+	}
+}
+
+func allAgree(row []Event) bool {
+	for i := 1; i < len(row); i++ {
+		if !row[0].sameStream(row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func minPresentLC(row []Event, missing []bool) uint64 {
+	var lc uint64
+	seen := false
+	for i, ev := range row {
+		if missing[i] {
+			continue
+		}
+		if !seen || ev.LC < lc {
+			lc = ev.LC
+			seen = true
+		}
+	}
+	return lc
+}
+
+// oddReplica identifies the replica whose event disagrees with a majority
+// of the others (the TMR case), or whose stream is missing while the
+// others agree. Returns -1 when no majority exists.
+func oddReplica(row []Event, missing []bool) int {
+	n := len(row)
+	// Count agreement classes among present replicas.
+	for i := 0; i < n; i++ {
+		if missing[i] {
+			continue
+		}
+		agree := 1
+		for j := 0; j < n; j++ {
+			if j == i || missing[j] {
+				continue
+			}
+			if row[i].sameStream(row[j]) {
+				agree++
+			}
+		}
+		if agree*2 > n {
+			// Replica i belongs to the majority class; the odd one is any
+			// replica outside it (missing counts as outside).
+			for j := 0; j < n; j++ {
+				if missing[j] || !row[i].sameStream(row[j]) {
+					return j
+				}
+			}
+			return -1
+		}
+	}
+	// No value majority. If exactly one stream is missing and the rest
+	// agree that case was handled above; with one present replica and the
+	// rest missing, blame a missing one.
+	presentIdx, present := -1, 0
+	for i := range row {
+		if !missing[i] {
+			present++
+			presentIdx = i
+		}
+	}
+	if present == 1 && n == 2 {
+		// DMR with one silent replica: the silent one is the straggler.
+		return 1 - presentIdx
+	}
+	return -1
+}
+
+// String renders the divergence for reports and the CLI.
+func (d Divergence) String() string {
+	var b strings.Builder
+	if !d.Found {
+		fmt.Fprintf(&b, "no divergence (%d aligned events agree", d.Compared)
+		if d.Truncated {
+			fmt.Fprintf(&b, "; rings wrapped, compared from lc>%d", d.AlignedFrom)
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "first divergence at aligned event %d (lc=%d", d.Index, d.LC)
+	if d.Replica >= 0 {
+		fmt.Fprintf(&b, ", replica %d is the odd one out", d.Replica)
+	} else {
+		b.WriteString(", no majority")
+	}
+	b.WriteString(")\n")
+	if d.Truncated {
+		fmt.Fprintf(&b, "  note: rings wrapped, compared from lc>%d — an earlier divergence may be lost\n", d.AlignedFrom)
+	}
+	fmt.Fprintf(&b, "  %d aligned events agreed before this point\n", d.Compared)
+	for i := range d.Events {
+		if d.Missing[i] {
+			fmt.Fprintf(&b, "  replica %d: <no event — stream ended>\n", i)
+			continue
+		}
+		fmt.Fprintf(&b, "  replica %d: %s\n", i, d.Events[i])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

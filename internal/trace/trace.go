@@ -1,0 +1,260 @@
+// Package trace implements the flight recorder for replicated execution:
+// a bounded, allocation-free ring of fixed-size event records per replica
+// (plus one system-level ring), each stamped with the replica's logical
+// time (event count, user branches, instruction pointer) and the machine
+// cycle at which it was recorded.
+//
+// The recorder exists to answer the forensic question a bare signature
+// vote cannot: *where and when* did replicas diverge. Replay-based
+// detection (RepTFD) and canonical trace comparison (DME) close this gap
+// with full execution traces; the flight recorder keeps only a bounded
+// recent window, which is what a production system can afford to record
+// continuously. Aligning the per-replica event streams by logical time
+// yields a first-divergence report (see FirstDivergence).
+//
+// Recording is configured through core.Config.Trace and is off by
+// default; every hook point in the replication layer is a single nil
+// check when disabled.
+package trace
+
+import "fmt"
+
+// Kind classifies a recorded event.
+type Kind uint64
+
+// Event kinds. The first group is per-replica and deterministic: replicas
+// executing the same instruction stream record identical sequences, which
+// is what divergence analysis compares. The second group is per-replica
+// but asymmetric by design (only lagging replicas catch up). The third
+// group is system-level bookkeeping recorded on the system ring.
+const (
+	// KindSyscall is a system-call kernel entry. Arg1 is the syscall
+	// number, Arg2 the first argument register.
+	KindSyscall Kind = iota + 1
+	// KindTick is a delivered timer preemption. Arg1 is the replica's
+	// preemption count.
+	KindTick
+	// KindUserFault is a user-level exception. Arg1 is the trap kind,
+	// Arg2 the faulting address.
+	KindUserFault
+	// KindFinish is the completion of the replica's workload. Arg1 is
+	// the replica's final signature checksum.
+	KindFinish
+
+	// KindBarrierJoin is an arrival at a rendezvous. Arg1 is the
+	// generation number.
+	KindBarrierJoin
+	// KindBarrierRelease is a release from a rendezvous. Arg1 is the
+	// generation, Arg2 the cycles spent parked at the barrier.
+	KindBarrierRelease
+	// KindCatchUpStep is a breakpoint catch-up step on a lagging
+	// replica. Arg1 is the remaining branch deficit, Arg2 the target IP.
+	KindCatchUpStep
+
+	// KindBarrierOpen (system ring) is a synchronisation generation
+	// opening. Arg1 is the generation, Arg2 the sync-kind bits.
+	KindBarrierOpen
+	// KindVote (system ring) is a completed signature comparison. Arg1
+	// is the generation or event number, Arg2 is 0 on agreement and 1 on
+	// a failed vote.
+	KindVote
+	// KindIRQRoute (system ring) is an interrupt-route change. Arg1 is
+	// the line, Arg2 the new target core.
+	KindIRQRoute
+	// KindEject (system ring) is a replica removal. Arg1 is the removed
+	// replica, Arg2 the detection kind that caused it.
+	KindEject
+	// KindReintegrate (system ring) is a completed DMR->TMR upgrade.
+	// Arg1 is the restored replica, Arg2 the donor.
+	KindReintegrate
+)
+
+var kindNames = map[Kind]string{
+	KindSyscall:        "syscall",
+	KindTick:           "tick",
+	KindUserFault:      "user-fault",
+	KindFinish:         "finish",
+	KindBarrierJoin:    "barrier-join",
+	KindBarrierRelease: "barrier-release",
+	KindCatchUpStep:    "catch-up-step",
+	KindBarrierOpen:    "barrier-open",
+	KindVote:           "vote",
+	KindIRQRoute:       "irq-route",
+	KindEject:          "eject",
+	KindReintegrate:    "reintegrate",
+}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint64(k))
+}
+
+// Comparable reports whether events of this kind are deterministic and
+// replica-symmetric: replicas in agreement record identical sequences of
+// comparable events, so they are the alignment substrate for divergence
+// analysis. Barrier arrivals, releases and catch-up steps are legitimately
+// asymmetric (a lagging replica records more of them) and are excluded.
+func (k Kind) Comparable() bool {
+	switch k {
+	case KindSyscall, KindTick, KindUserFault, KindFinish:
+		return true
+	}
+	return false
+}
+
+// Event is one fixed-size flight-recorder record.
+type Event struct {
+	// Seq is the per-ring sequence number (monotonic from 0; survives
+	// wraparound, so Seq identifies how much history was lost).
+	Seq uint64
+	// Cycle is the global machine cycle at record time.
+	Cycle uint64
+	// Kind classifies the event.
+	Kind Kind
+	// LC, Branches and IP stamp the event with the replica's logical
+	// time (the paper's (lc_time, user_branches, user_ip) triple). For
+	// system-ring events only Cycle is meaningful.
+	LC       uint64
+	Branches uint64
+	IP       uint64
+	// Arg1 and Arg2 carry kind-specific payload (see the Kind
+	// constants).
+	Arg1 uint64
+	Arg2 uint64
+}
+
+// sameStream reports whether two events are equal under the divergence
+// comparison: everything but the cycle stamp (wall-cycle skew between
+// replicas is expected) and the sequence number (ring-local). Branch
+// counts are compared: replicas executing the same instruction stream
+// reset their branch clocks at the same synchronisations, so a
+// disagreement is a real divergence signal.
+func (e Event) sameStream(o Event) bool {
+	return e.Kind == o.Kind && e.LC == o.LC && e.Branches == o.Branches &&
+		e.IP == o.IP && e.Arg1 == o.Arg1 && e.Arg2 == o.Arg2
+}
+
+// String renders one event for dumps and reports.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s lc=%d br=%d ip=%#x a1=%#x a2=%#x cyc=%d",
+		e.Seq, e.Kind, e.LC, e.Branches, e.IP, e.Arg1, e.Arg2, e.Cycle)
+}
+
+// Ring is a bounded event buffer. Recording overwrites the oldest record
+// once full and never allocates.
+type Ring struct {
+	buf  []Event
+	next uint64 // total events ever recorded; buf index = next % cap
+}
+
+// NewRing creates a ring retaining up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingEvents
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// DefaultRingEvents is the per-ring capacity when none is configured.
+const DefaultRingEvents = 4096
+
+// Record appends one event, stamping its sequence number.
+func (r *Ring) Record(ev Event) {
+	ev.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Total returns how many events were ever recorded (retained or not).
+func (r *Ring) Total() uint64 { return r.next }
+
+// Len returns how many events are currently retained.
+func (r *Ring) Len() int {
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many events were lost to wraparound.
+func (r *Ring) Dropped() uint64 { return r.next - uint64(r.Len()) }
+
+// At returns the i-th retained event, oldest first.
+func (r *Ring) At(i int) Event {
+	start := r.next - uint64(r.Len())
+	return r.buf[(start+uint64(i))%uint64(len(r.buf))]
+}
+
+// Events returns a copy of the retained events, oldest first. It
+// allocates and is meant for the forensic path, not the record path.
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.Len())
+	for i := range out {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Recorder bundles one ring per replica plus a system ring.
+type Recorder struct {
+	rings []*Ring
+	sys   *Ring
+}
+
+// NewRecorder creates a recorder for the given replica count, each ring
+// retaining ringEvents records (DefaultRingEvents when <= 0).
+func NewRecorder(replicas, ringEvents int) *Recorder {
+	rec := &Recorder{sys: NewRing(ringEvents)}
+	for i := 0; i < replicas; i++ {
+		rec.rings = append(rec.rings, NewRing(ringEvents))
+	}
+	return rec
+}
+
+// NumReplicas returns the number of per-replica rings.
+func (r *Recorder) NumReplicas() int { return len(r.rings) }
+
+// Ring returns replica rid's ring, or the system ring for rid < 0.
+func (r *Recorder) Ring(rid int) *Ring {
+	if rid < 0 {
+		return r.sys
+	}
+	return r.rings[rid]
+}
+
+// System returns the system-level ring.
+func (r *Recorder) System() *Ring { return r.sys }
+
+// Record appends an event to replica rid's ring (rid < 0 targets the
+// system ring).
+func (r *Recorder) Record(rid int, ev Event) { r.Ring(rid).Record(ev) }
+
+// Clone deep-copies the recorder, freezing its current contents against
+// further recording (the forensic-report snapshot).
+func (r *Recorder) Clone() *Recorder {
+	out := &Recorder{sys: r.sys.clone()}
+	for _, ring := range r.rings {
+		out.rings = append(out.rings, ring.clone())
+	}
+	return out
+}
+
+func (r *Ring) clone() *Ring {
+	return &Ring{buf: append([]Event(nil), r.buf...), next: r.next}
+}
+
+// Streams returns a copy of every replica ring's retained events, oldest
+// first (the input to FirstDivergence). The system ring is excluded.
+func (r *Recorder) Streams() [][]Event {
+	out := make([][]Event, len(r.rings))
+	for i, ring := range r.rings {
+		out[i] = ring.Events()
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mkEvent(lc uint64, kind Kind, arg1 uint64) Event {
+	return Event{Kind: kind, LC: lc, Branches: lc * 3, IP: 0x1000 + lc, Arg1: arg1}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(0); i < 20; i++ {
+		r.Record(mkEvent(i, KindSyscall, i))
+	}
+	if r.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", r.Total())
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8 (capacity)", r.Len())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		wantSeq := uint64(12 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.LC != wantSeq {
+			t.Errorf("event %d: LC = %d, want %d (oldest retained must be seq 12)", i, ev.LC, wantSeq)
+		}
+	}
+	// A ring that never filled retains everything.
+	small := NewRing(8)
+	for i := uint64(0); i < 5; i++ {
+		small.Record(mkEvent(i, KindTick, 0))
+	}
+	if small.Len() != 5 || small.Dropped() != 0 {
+		t.Fatalf("Len/Dropped = %d/%d, want 5/0", small.Len(), small.Dropped())
+	}
+}
+
+func TestRingRecordDoesNotAllocate(t *testing.T) {
+	r := NewRing(64)
+	ev := mkEvent(1, KindSyscall, 2)
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestFirstDivergenceAgreement(t *testing.T) {
+	var streams [][]Event
+	for r := 0; r < 3; r++ {
+		var s []Event
+		for lc := uint64(1); lc <= 50; lc++ {
+			s = append(s, mkEvent(lc, KindTick, 0))
+		}
+		streams = append(streams, s)
+	}
+	d := FirstDivergence(streams)
+	if d.Found {
+		t.Fatalf("agreeing streams reported divergent: %s", d)
+	}
+	if d.Compared != 50 {
+		t.Fatalf("Compared = %d, want 50", d.Compared)
+	}
+	if d.Truncated {
+		t.Fatal("equal streams should not report truncation")
+	}
+}
+
+func TestFirstDivergenceValueMismatch(t *testing.T) {
+	var streams [][]Event
+	for r := 0; r < 3; r++ {
+		var s []Event
+		for lc := uint64(1); lc <= 30; lc++ {
+			ev := mkEvent(lc, KindSyscall, 7)
+			if r == 1 && lc == 20 {
+				ev.Arg1 = 8 // replica 1 passes a corrupted syscall argument
+			}
+			s = append(s, ev)
+		}
+		streams = append(streams, s)
+	}
+	d := FirstDivergence(streams)
+	if !d.Found {
+		t.Fatal("seeded mismatch not found")
+	}
+	if d.Replica != 1 {
+		t.Fatalf("odd replica = %d, want 1", d.Replica)
+	}
+	if d.LC != 20 {
+		t.Fatalf("divergence LC = %d, want 20", d.LC)
+	}
+	if d.Compared != 19 {
+		t.Fatalf("Compared = %d, want 19 agreeing events before divergence", d.Compared)
+	}
+	if !strings.Contains(d.String(), "replica 1") {
+		t.Fatalf("report does not name replica 1:\n%s", d)
+	}
+}
+
+// TestFirstDivergenceUnequalRings aligns streams whose rings wrapped at
+// different depths: the comparison must start at the newest common window
+// and flag the truncation.
+func TestFirstDivergenceUnequalRings(t *testing.T) {
+	full := NewRing(100)
+	wrapped := NewRing(16)
+	third := NewRing(100)
+	for lc := uint64(1); lc <= 60; lc++ {
+		ev := mkEvent(lc, KindTick, 0)
+		full.Record(ev)
+		third.Record(ev)
+		if lc == 55 {
+			ev.IP ^= 4 // replica 1 jumps somewhere else at lc 55
+		}
+		wrapped.Record(ev)
+	}
+	streams := [][]Event{full.Events(), wrapped.Events(), third.Events()}
+	if len(streams[1]) != 16 {
+		t.Fatalf("wrapped ring retains %d, want 16", len(streams[1]))
+	}
+	d := FirstDivergence(streams)
+	if !d.Truncated {
+		t.Fatal("unequal ring lengths must flag Truncated")
+	}
+	// Wrapped ring retains lc 45..60; alignment starts past lc 45.
+	if d.AlignedFrom != 45 {
+		t.Fatalf("AlignedFrom = %d, want 45", d.AlignedFrom)
+	}
+	if !d.Found || d.Replica != 1 {
+		t.Fatalf("divergence = %+v, want found with replica 1", d)
+	}
+	if d.LC != 55 {
+		t.Fatalf("divergence LC = %d, want 55", d.LC)
+	}
+}
+
+// TestFirstDivergenceMissingTail blames the replica whose stream ends
+// while the others keep producing events (a straggler gone silent).
+func TestFirstDivergenceMissingTail(t *testing.T) {
+	var streams [][]Event
+	for r := 0; r < 3; r++ {
+		limit := uint64(40)
+		if r == 2 {
+			limit = 25 // replica 2 hung at lc 25
+		}
+		var s []Event
+		for lc := uint64(1); lc <= limit; lc++ {
+			s = append(s, mkEvent(lc, KindTick, 0))
+		}
+		streams = append(streams, s)
+	}
+	d := FirstDivergence(streams)
+	if !d.Found {
+		t.Fatal("silent straggler not reported")
+	}
+	if d.Replica != 2 {
+		t.Fatalf("odd replica = %d, want 2", d.Replica)
+	}
+	if !d.Missing[2] {
+		t.Fatal("replica 2 should be marked missing")
+	}
+	if !strings.Contains(d.String(), "stream ended") {
+		t.Fatalf("report missing 'stream ended':\n%s", d)
+	}
+}
+
+func TestFirstDivergenceIgnoresAsymmetricKinds(t *testing.T) {
+	// Catch-up steps and barrier joins are legitimately asymmetric; only
+	// comparable kinds participate in alignment.
+	a := []Event{mkEvent(1, KindTick, 0), mkEvent(2, KindTick, 0)}
+	b := []Event{
+		mkEvent(1, KindTick, 0),
+		{Kind: KindCatchUpStep, LC: 1, Arg1: 99},
+		{Kind: KindBarrierJoin, LC: 1, Arg1: 3},
+		mkEvent(2, KindTick, 0),
+	}
+	d := FirstDivergence([][]Event{a, b})
+	if d.Found {
+		t.Fatalf("asymmetric kinds caused false divergence: %s", d)
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	rec := NewRecorder(3, 16)
+	for rid := 0; rid < 3; rid++ {
+		for lc := uint64(1); lc <= 24; lc++ { // wraps the 16-entry rings
+			rec.Record(rid, mkEvent(lc, KindSyscall, uint64(rid)))
+		}
+	}
+	rec.Record(-1, Event{Kind: KindVote, Arg1: 5})
+
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.NumReplicas() != 3 {
+		t.Fatalf("NumReplicas = %d, want 3", got.NumReplicas())
+	}
+	for rid := 0; rid < 3; rid++ {
+		orig, loaded := rec.Ring(rid), got.Ring(rid)
+		if loaded.Total() != orig.Total() || loaded.Len() != orig.Len() || loaded.Dropped() != orig.Dropped() {
+			t.Fatalf("ring %d: total/len/dropped %d/%d/%d, want %d/%d/%d",
+				rid, loaded.Total(), loaded.Len(), loaded.Dropped(),
+				orig.Total(), orig.Len(), orig.Dropped())
+		}
+		oe, le := orig.Events(), loaded.Events()
+		for i := range oe {
+			if oe[i] != le[i] {
+				t.Fatalf("ring %d event %d: %+v != %+v", rid, i, le[i], oe[i])
+			}
+		}
+	}
+	if got.System().Len() != 1 || got.System().At(0).Kind != KindVote {
+		t.Fatal("system ring did not round-trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte("not a trace file at all")))
+	if !errors.Is(err, ErrBadTraceFile) {
+		t.Fatalf("err = %v, want ErrBadTraceFile", err)
+	}
+	_, err = Load(bytes.NewReader(nil))
+	if !errors.Is(err, ErrBadTraceFile) {
+		t.Fatalf("empty: err = %v, want ErrBadTraceFile", err)
+	}
+}

@@ -12,7 +12,10 @@
 //   - run the paper's experiments (Experiments, RunExperiment);
 //   - run fault-injection campaigns (MemCampaign, RegCampaign,
 //     RecoveryTrial, Soak);
-//   - drive the Redis-stand-in system benchmark (RunKV).
+//   - drive the Redis-stand-in system benchmark (RunKV);
+//   - record per-replica flight-recorder traces and metrics for
+//     divergence forensics (TraceConfig, MetricsSnapshot,
+//     CaptureForensics — see cmd/rcoe-trace).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -28,7 +31,9 @@ import (
 	"rcoe/internal/harness"
 	"rcoe/internal/kernel"
 	"rcoe/internal/machine"
+	"rcoe/internal/metrics"
 	"rcoe/internal/stats"
+	"rcoe/internal/trace"
 	"rcoe/internal/vmm"
 	"rcoe/internal/workload"
 )
@@ -230,7 +235,43 @@ var (
 	// ErrNoEjection is returned by Soak when an injected stall was not
 	// resolved by straggler ejection.
 	ErrNoEjection = faults.ErrNoEjection
+	// ErrTraceDisabled wraps forensics requests against a system built
+	// without Config.Trace.Enabled.
+	ErrTraceDisabled = core.ErrTraceDisabled
 )
+
+// Flight recorder & divergence forensics.
+type (
+	// TraceConfig enables the per-replica flight recorder (Config.Trace).
+	TraceConfig = core.TraceConfig
+	// TraceRecorder holds the per-replica and system event rings.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded event (kind, logical time, cycle, args).
+	TraceEvent = trace.Event
+	// TraceDivergence locates the first disagreeing event across replica
+	// streams aligned by logical time.
+	TraceDivergence = trace.Divergence
+	// DivergenceReport is the frozen forensic bundle a detection captures.
+	DivergenceReport = core.DivergenceReport
+	// ReplicaForensics is one replica's architectural state in a report.
+	ReplicaForensics = core.ReplicaForensics
+	// MetricsSnapshot is a point-in-time copy of the system's counters
+	// and histograms, renderable with its Table method.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// FirstDivergence aligns replica event streams by logical time and
+// locates the first disagreeing event.
+func FirstDivergence(streams [][]TraceEvent) TraceDivergence {
+	return trace.FirstDivergence(streams)
+}
+
+// SaveTrace writes a recorder's rings to a trace file cmd/rcoe-trace can
+// dump, diff and summarize.
+func SaveTrace(path string, rec *TraceRecorder) error { return rec.SaveFile(path) }
+
+// LoadTrace reads a trace file written by SaveTrace.
+func LoadTrace(path string) (*TraceRecorder, error) { return trace.LoadFile(path) }
 
 // MemCampaign runs the Table VII memory fault-injection study.
 func MemCampaign(opts MemCampaignOptions) (*faults.Tally, error) {

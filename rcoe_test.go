@@ -1,6 +1,8 @@
 package rcoe_test
 
 import (
+	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -129,6 +131,58 @@ func TestPublicAPIVM(t *testing.T) {
 	}
 	if cycles == 0 {
 		t.Fatalf("no cycles measured")
+	}
+}
+
+func TestPublicAPITraceForensics(t *testing.T) {
+	// Disabled by default: forensics requests surface the sentinel.
+	sys, err := rcoe.BuildSystem(rcoe.Config{
+		Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 10_000,
+	}, sumProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CaptureForensics("check"); !errors.Is(err, rcoe.ErrTraceDisabled) {
+		t.Fatalf("CaptureForensics on an untraced system: err = %v, want ErrTraceDisabled", err)
+	}
+
+	// Enabled: a clean run yields agreeing streams, a metrics snapshot,
+	// and a trace file that round-trips through Save/Load.
+	sys, err = rcoe.BuildSystem(rcoe.Config{
+		Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 10_000,
+		Trace: rcoe.TraceConfig{Enabled: true, RingEvents: 512},
+	}, sumProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	rec := sys.TraceRecorder()
+	if rec == nil || rec.Ring(0).Total() == 0 {
+		t.Fatal("traced system recorded nothing")
+	}
+	if d := rcoe.FirstDivergence(rec.Streams()); d.Found {
+		t.Fatalf("clean run diverged: %s", d)
+	}
+	snap := sys.MetricsSnapshot()
+	if snap.Counter("syncs") == 0 {
+		t.Fatal("no syncs in the metrics snapshot")
+	}
+	if !strings.Contains(snap.Table("t"), "barrier-wait") {
+		t.Fatal("snapshot table missing the barrier-wait histogram")
+	}
+	path := filepath.Join(t.TempDir(), "run.trc")
+	if err := rcoe.SaveTrace(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := rcoe.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ring(0).Total() != rec.Ring(0).Total() {
+		t.Fatalf("trace round-trip lost events: %d != %d",
+			loaded.Ring(0).Total(), rec.Ring(0).Total())
 	}
 }
 
