@@ -105,3 +105,36 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, false) })
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkIdleFastForward measures the event-driven idle skip on an
+// idle-dominated scenario: a masking TMR system whose third replica is
+// stall-injected, so the survivors spend the barrier-timeout window (and
+// the watchdog wait after it) fully parked before ejecting the straggler
+// and finishing as DMR. "on" is the shipping default; "off" forces the
+// naive cycle-by-cycle loop. The two produce bit-identical simulations
+// (see the TestDeterminism differential suite); only host time differs.
+// EXPERIMENTS.md records the measured speedup.
+func BenchmarkIdleFastForward(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		for i := 0; i < b.N; i++ {
+			sys, err := rcoe.BuildSystem(rcoe.Config{
+				Mode: rcoe.ModeLC, Replicas: 3, Masking: true,
+				TickCycles: 50_000, BarrierTimeout: 2_000_000,
+				DisableFastForward: disable,
+			}, rcoe.Dhrystone(20_000))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.RunCycles(50_000)
+			sys.InjectStall(2)
+			if err := sys.Run(3_000_000_000); err != nil {
+				b.Fatal(err)
+			}
+			if len(sys.Detections()) == 0 {
+				b.Fatal("stall was not detected")
+			}
+		}
+	}
+	b.Run("on", func(b *testing.B) { run(b, false) })
+	b.Run("off", func(b *testing.B) { run(b, true) })
+}

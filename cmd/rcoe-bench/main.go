@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	rcoe-bench [-scale quick|full] [-list] [experiment ...]
+//	rcoe-bench [-scale quick|full] [-list] [-no-fastforward] [experiment ...]
 //
 // With no experiment IDs it runs everything in paper order. Each
 // experiment prints the same rows/series the paper reports; absolute
 // numbers are simulator cycles, shapes are the reproduction target.
+//
+// -no-fastforward disables the machine's event-driven idle skip and steps
+// every cycle naively. Results are bit-identical either way (the
+// determinism contract); the flag exists so CI can cross-check the two
+// modes and so suspected fast-forward drift can be debugged in the field.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"rcoe/internal/bench"
+	"rcoe/internal/machine"
 )
 
 func main() {
@@ -25,7 +31,12 @@ func main() {
 func run() int {
 	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	noFF := flag.Bool("no-fastforward", false, "step every cycle naively instead of fast-forwarding idle windows")
 	flag.Parse()
+
+	if *noFF {
+		machine.SetDefaultFastForward(false)
+	}
 
 	if *list {
 		for _, e := range bench.All() {

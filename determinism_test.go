@@ -1,0 +1,187 @@
+package rcoe_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rcoe"
+	"rcoe/internal/faults"
+	"rcoe/internal/harness"
+	"rcoe/internal/workload"
+)
+
+// These differential tests are the fast-forward determinism contract: for
+// every tier-1 scenario, a run with the event-driven idle skip enabled
+// must be bit-identical — final machine cycle, per-core counters and
+// registers, kernel signatures, detections, stats, metrics — to the same
+// run stepped naively cycle by cycle. Any drift here means fast-forward
+// jumped over something the naive loop would have observed.
+
+// systemFingerprint renders everything observable about a finished system
+// into a canonical string, so differences show up as a readable diff.
+func systemFingerprint(sys *rcoe.System) string {
+	var sb strings.Builder
+	m := sys.Machine()
+	halted, reason := sys.Halted()
+	fmt.Fprintf(&sb, "now=%d finished=%v halted=%v reason=%q\n",
+		m.Now(), sys.Finished(), halted, reason)
+	for i := 0; i < sys.NumReplicas(); i++ {
+		c := m.Core(i)
+		var regs uint64
+		for _, r := range c.Regs {
+			regs = regs*0x100000001b3 ^ r
+		}
+		ev, sum := sys.Replica(i).K.Signature()
+		fmt.Fprintf(&sb, "core%d state=%d cycles=%d instr=%d branches=%d pc=%#x regs=%#x sig=(%d,%#x)\n",
+			i, c.State, c.Cycles, c.Instructions, c.UserBranches, c.PC, regs, ev, sum)
+	}
+	fmt.Fprintf(&sb, "stats=%+v\n", sys.Stats())
+	for _, d := range sys.Detections() {
+		fmt.Fprintf(&sb, "detection=%+v\n", d)
+	}
+	if sys.Metrics() != nil {
+		sb.WriteString(sys.MetricsSnapshot().Table("metrics"))
+	}
+	return sb.String()
+}
+
+// diffLine reports the first line two fingerprints disagree on.
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  fast:  %s\n  naive: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+func assertIdentical(t *testing.T, name, fast, slow string) {
+	t.Helper()
+	if fast != slow {
+		t.Fatalf("%s: fast-forward run diverged from naive run\n%s", name, diffLine(fast, slow))
+	}
+}
+
+func TestDeterminismTable2Kernels(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  rcoe.Config
+	}{
+		{"base", rcoe.Config{Mode: rcoe.ModeNone, Replicas: 1, TickCycles: 20_000}},
+		{"lc-dmr", rcoe.Config{Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 20_000}},
+		{"lc-tmr", rcoe.Config{Mode: rcoe.ModeLC, Replicas: 3, TickCycles: 20_000}},
+		{"cc-dmr", rcoe.Config{Mode: rcoe.ModeCC, Replicas: 2, TickCycles: 20_000}},
+	}
+	programs := []struct {
+		name string
+		prog rcoe.Program
+	}{
+		{"dhrystone", rcoe.Dhrystone(300)},
+		{"whetstone", rcoe.Whetstone(30)},
+	}
+	for _, p := range programs {
+		for _, c := range configs {
+			t.Run(p.name+"/"+c.name, func(t *testing.T) {
+				run := func(disableFF bool) string {
+					cfg := c.cfg
+					cfg.DisableFastForward = disableFF
+					sys, err := rcoe.BuildSystem(cfg, p.prog)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sys.Run(500_000_000); err != nil {
+						t.Fatalf("run (ffDisabled=%v): %v", disableFF, err)
+					}
+					return systemFingerprint(sys)
+				}
+				assertIdentical(t, p.name+"/"+c.name, run(false), run(true))
+			})
+		}
+	}
+}
+
+func TestDeterminismKVUnderYCSB(t *testing.T) {
+	run := func(disableFF bool) (harness.KVResult, string) {
+		opts := harness.KVOptions{
+			System: rcoe.Config{
+				Mode:               rcoe.ModeLC,
+				Replicas:           3,
+				TickCycles:         50_000,
+				DisableFastForward: disableFF,
+				Trace:              rcoe.TraceConfig{Enabled: true},
+			},
+			Workload:   workload.YCSBA,
+			Records:    40,
+			Operations: 80,
+			Seed:       11,
+		}
+		kv, err := harness.NewKV(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := kv.Run()
+		if err != nil {
+			t.Fatalf("kv run (ffDisabled=%v): %v", disableFF, err)
+		}
+		return res, systemFingerprint(kv.Sys)
+	}
+	fastRes, fastFP := run(false)
+	slowRes, slowFP := run(true)
+	assertIdentical(t, "kv-ycsba", fastFP, slowFP)
+	if !reflect.DeepEqual(fastRes, slowRes) {
+		t.Fatalf("KV results diverged:\nfast:  %+v\nnaive: %+v", fastRes, slowRes)
+	}
+}
+
+func TestDeterminismMaskingDowngrade(t *testing.T) {
+	run := func(disableFF bool) string {
+		cfg := rcoe.Config{
+			Mode:               rcoe.ModeLC,
+			Replicas:           3,
+			Masking:            true,
+			TickCycles:         20_000,
+			BarrierTimeout:     200_000,
+			DisableFastForward: disableFF,
+		}
+		sys, err := rcoe.BuildSystem(cfg, rcoe.Dhrystone(20_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunCycles(50_000)
+		sys.InjectStall(2)
+		if err := sys.Run(500_000_000); err != nil {
+			t.Fatalf("run (ffDisabled=%v): %v", disableFF, err)
+		}
+		if len(sys.Detections()) == 0 {
+			t.Fatalf("stall produced no detection (ffDisabled=%v)", disableFF)
+		}
+		return systemFingerprint(sys)
+	}
+	assertIdentical(t, "masking-downgrade", run(false), run(true))
+}
+
+func TestDeterminismSoakCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("naive-mode soak is slow")
+	}
+	run := func(disableFF bool) faults.SoakResult {
+		res, err := rcoe.Soak(rcoe.SoakOptions{
+			System: rcoe.Config{DisableFastForward: disableFF},
+			Cycles: 2,
+			Seed:   5,
+		})
+		if err != nil {
+			t.Fatalf("soak (ffDisabled=%v): %v", disableFF, err)
+		}
+		return res
+	}
+	fast, slow := run(false), run(true)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("soak campaigns diverged:\nfast:  cycles=%+v windows=%v ops=%d violations=%v\nnaive: cycles=%+v windows=%v ops=%d violations=%v",
+			fast.Cycles, fast.Windows, fast.Ops, fast.Violations,
+			slow.Cycles, slow.Windows, slow.Ops, slow.Violations)
+	}
+}

@@ -128,6 +128,12 @@ type Config struct {
 	// breakpoint and single-step forces a VM exit, and locating a
 	// block-copy instruction requires a guest page-table walk (§III-D).
 	VM bool
+	// DisableFastForward turns off the machine's event-driven idle skip
+	// for this system, forcing the naive cycle-by-cycle loop. The two
+	// modes are bit-identical by contract (the differential determinism
+	// tests enforce it); the naive loop exists for those tests and for
+	// debugging suspected fast-forward drift.
+	DisableFastForward bool
 	// TraceSeed perturbs nothing functional; it seeds workload-level
 	// randomness so repeated runs differ deterministically.
 	TraceSeed uint64

@@ -227,6 +227,9 @@ func (s *System) parkAtRendezvous(r *Replica, gen uint64) {
 			}
 		}
 	})
+	// The only time-driven exit is the spin-budget expiry; everything else
+	// (release, overtake, level-up) comes from peers executing.
+	c.ParkWakeAt(r.barrierStart + s.cfg.BarrierTimeout + 1)
 }
 
 // completeRendezvous runs when the last replica levels up: it votes on
@@ -367,6 +370,9 @@ func (s *System) finishedPark(r *Replica) {
 		}
 		s.enterRendezvous(r)
 	})
+	// Wakes only on halt, finish, or a peer opening a synchronisation —
+	// all effects of other cores executing.
+	c.ParkWakeNever()
 }
 
 // barrierTimeout fires when a replica exhausted its spin budget waiting
@@ -634,6 +640,8 @@ func (s *System) eventBarrier(r *Replica, ev uint64, action func(), cont func())
 			}
 		}
 	})
+	// As at the rendezvous park: only the spin budget is time-driven.
+	c.ParkWakeAt(r.barrierStart + s.cfg.BarrierTimeout + 1)
 }
 
 // allVotedAt reports whether every alive replica has arrived at event ev

@@ -144,6 +144,9 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.MemBytes = int(need)
 	}
 	m := machine.New(cfg.Profile, cfg.MemBytes)
+	if cfg.DisableFastForward {
+		m.SetFastForward(false)
+	}
 	sys := &System{
 		cfg: cfg,
 		m:   m,
@@ -203,6 +206,12 @@ func (t *preemptionTimer) Tick(m *machine.Machine) {
 	}
 }
 
+// NextEvent implements machine.EventSource: the timer only acts on exact
+// multiples of its period.
+func (t *preemptionTimer) NextEvent(now uint64) uint64 {
+	return now - now%t.period + t.period
+}
+
 // syncWatchdog guards the liveness of the synchronisation fabric. Every
 // device interrupt routes to the primary, so a primary that silently
 // stops responding leaves its peers spinning on input replication (or
@@ -238,6 +247,24 @@ func (w *syncWatchdog) Tick(m *machine.Machine) {
 	}
 	s.stats.WatchdogProbes++
 	s.requestSync(-1, 0, 0)
+}
+
+// NextEvent implements machine.EventSource: the watchdog can only fire at
+// a poll boundary once the period since the last opened synchronisation
+// has elapsed. Every input consulted here (halt/finish flags, pending
+// sync, lastSyncOpen) changes only through core execution, which ends the
+// idle window, so the answer stays valid for the window's duration.
+func (w *syncWatchdog) NextEvent(now uint64) uint64 {
+	s := w.sys
+	if s.halted || s.finished || s.syncPending() {
+		return machine.NoEvent
+	}
+	t := s.lastSyncOpen + w.period
+	if t <= now {
+		t = now + 1
+	}
+	// Round up to the next poll boundary (multiples of 1024).
+	return (t + watchdogPollMask) &^ uint64(watchdogPollMask)
 }
 
 // Machine returns the underlying machine (benchmarks and fault injectors
@@ -313,11 +340,11 @@ func (s *System) Run(maxCycles uint64) error {
 }
 
 // RunCycles steps the machine a fixed number of cycles (server workloads
-// that never finish).
+// that never finish), stopping early — like Run — once the system halts or
+// the workload finishes; a finished server must not burn the remaining
+// budget.
 func (s *System) RunCycles(n uint64) {
-	for i := uint64(0); i < n && !s.halted; i++ {
-		s.m.Step()
-	}
+	_ = s.m.RunUntil(func() bool { return s.finished || s.halted }, n)
 }
 
 // halt fail-stops the whole system.
@@ -359,6 +386,9 @@ func (s *System) consumeStall(r *Replica) {
 		}
 		c.SetOffline()
 	})
+	// Both halt and ejection happen through other cores executing; time
+	// alone never wakes this park.
+	c.ParkWakeNever()
 }
 
 // record appends a detection event. With tracing enabled, the first

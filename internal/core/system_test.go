@@ -318,3 +318,14 @@ func TestKernelCanaryCorruptionFailStops(t *testing.T) {
 		t.Fatalf("no kernel-exception detection: %v", sys.Detections())
 	}
 }
+
+func TestRunCyclesStopsOnFinished(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 2, TickCycles: 5000}, cpuLoop(t, 1000))
+	sys.RunCycles(200_000_000)
+	if !sys.Finished() {
+		t.Fatalf("workload did not finish (detections=%v)", sys.Detections())
+	}
+	if now := sys.Machine().Now(); now >= 100_000_000 {
+		t.Fatalf("RunCycles burned the budget past completion: now=%d", now)
+	}
+}

@@ -501,6 +501,9 @@ func (s *System) goIdle(r *Replica) {
 		// Otherwise the pending interrupt is delivered by the machine on
 		// the next cycle, before any stale user state executes.
 	})
+	// Interrupts, IPIs, and thread wakeups all originate from devices or
+	// other cores; the devices' own NextEvent schedules bound the skip.
+	c.ParkWakeNever()
 }
 
 // afterKernel is the common kernel-exit path: join a pending rendezvous,

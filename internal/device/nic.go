@@ -49,6 +49,10 @@ type NIC struct {
 
 	doorbell bool
 
+	// mem caches the machine's physical memory from the first Tick so
+	// NextEvent can inspect the RX mailbox flag without a machine handle.
+	mem *machine.Mem
+
 	// RxDelivered and TxCollected count frames through each mailbox.
 	RxDelivered uint64
 	TxCollected uint64
@@ -107,6 +111,7 @@ func (n *NIC) TakeResponses() [][]byte {
 // doorbell rang.
 func (n *NIC) Tick(m *machine.Machine) {
 	mem := m.Mem()
+	n.mem = mem
 	if n.doorbell {
 		n.doorbell = false
 		flag, _ := mem.ReadU(n.TxFlagPA(), 8)
@@ -138,6 +143,28 @@ func (n *NIC) Tick(m *machine.Machine) {
 			m.RaiseIRQ(n.line)
 		}
 	}
+}
+
+// NextEvent implements machine.EventSource. The NIC acts on a cycle only
+// when the doorbell rang or a queued frame can enter a free RX mailbox;
+// both the doorbell and the mailbox flag change only through core or host
+// action, which ends any idle window, so the answer computed here stays
+// valid for the whole window.
+func (n *NIC) NextEvent(now uint64) uint64 {
+	if n.doorbell {
+		return now + 1
+	}
+	if len(n.pending) > 0 {
+		if n.mem == nil {
+			return now + 1 // not yet ticked: stay conservative
+		}
+		if flag, _ := n.mem.ReadU(n.RxFlagPA(), 8); flag == 0 {
+			return now + 1
+		}
+		// RX mailbox occupied: delivery waits on the driver clearing the
+		// flag, a core action.
+	}
+	return machine.NoEvent
 }
 
 // MMIORead implements machine.MMIOHandler.

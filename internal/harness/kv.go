@@ -7,6 +7,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"rcoe/internal/compilerpass"
 	"rcoe/internal/core"
@@ -229,7 +230,16 @@ func (r *KVRun) fill() {
 	if maxRetries <= 0 {
 		maxRetries = 5
 	}
-	for id, p := range r.outstanding {
+	// Walk the window in request-ID order: map iteration order would make
+	// the retransmit sequence — and with it the whole simulation — vary
+	// from run to run whenever two requests time out in the same pass.
+	ids := make([]uint32, 0, len(r.outstanding))
+	for id := range r.outstanding {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		p := r.outstanding[id]
 		timeout := retry
 		if r.opts.RetryBackoff && p.retries > 0 {
 			shift := p.retries
@@ -401,16 +411,29 @@ func (r *KVRun) finalize() {
 	if end == 0 {
 		end = r.Sys.Machine().Now()
 	}
+	r.res.Cycles, r.res.Throughput = 0, 0
 	if r.startCyc > 0 && end > r.startCyc {
 		r.res.Cycles = end - r.startCyc
-		r.res.Throughput = float64(r.res.Ops) / (float64(r.res.Cycles) / 1e6)
 	}
+	r.res.Throughput = throughput(r.res.Ops, r.res.Cycles)
 	r.res.Finished = r.Sys.Finished()
 	if halted, reason := r.Sys.Halted(); halted {
 		r.res.HaltReason = reason
 	}
 	r.res.Detections = r.Sys.Detections()
 	r.res.Stats = r.Sys.Stats()
+}
+
+// throughput converts an op count over a cycle span into ops per million
+// cycles. A zero-cycle span (the server halted before the run phase, or
+// finalize ran before the first op) reports 0 rather than the NaN/Inf a
+// bare division would produce — those poison every downstream stats
+// aggregation they touch.
+func throughput(ops, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(ops) / (float64(cycles) / 1e6)
 }
 
 // Snapshot returns the current result counters (fault campaigns classify

@@ -148,3 +148,17 @@ func TestKVClientRetransmits(t *testing.T) {
 		t.Fatalf("corruptions after retry: %d", res.Corruptions)
 	}
 }
+
+func TestThroughputZeroCycles(t *testing.T) {
+	// A run phase that consumed no cycles (instant halt) must report 0,
+	// not the NaN/Inf of a bare division, which poisons stats aggregation.
+	if got := throughput(10, 0); got != 0 {
+		t.Fatalf("throughput(10, 0) = %v, want 0", got)
+	}
+	if got := throughput(0, 0); got != 0 {
+		t.Fatalf("throughput(0, 0) = %v, want 0", got)
+	}
+	if got := throughput(50, 1_000_000); got != 50 {
+		t.Fatalf("throughput(50, 1e6) = %v, want 50 ops/Mcycle", got)
+	}
+}

@@ -166,6 +166,12 @@ type Core struct {
 	// true the core resumes (state back to Running) and parkDone runs.
 	parkCond func() bool
 	parkDone func()
+	// parkWake is the fast-forward wake hint for the current park: 0
+	// means undeclared (probe every ParkProbeInterval cycles), NoEvent
+	// means the condition is purely event-driven, and any other value is
+	// the earliest Cycles count at which the condition may first become
+	// true through the passage of time alone.
+	parkWake uint64
 
 	pendingIRQ uint64 // bitmask of device lines
 	pendingIPI bool
@@ -201,7 +207,22 @@ func (c *Core) Park(cond func() bool, done func()) {
 	c.State = CoreParked
 	c.parkCond = cond
 	c.parkDone = done
+	c.parkWake = 0
 }
+
+// ParkWakeAt declares a time-driven wake hint for the current park: the
+// condition cannot first return true before the core's Cycles counter
+// reaches cycle (it may of course become true earlier through an event —
+// another core, a device, the host — but any such event ends the idle
+// window anyway). Fast-forward uses the hint to jump barrier-timeout waits
+// in one step while staying bit-identical to naive stepping.
+func (c *Core) ParkWakeAt(cycle uint64) { c.parkWake = cycle }
+
+// ParkWakeNever declares the current park condition purely event-driven:
+// it can only become true as a side effect of another core executing, a
+// device acting, or the host mutating state — never from time alone.
+// Fast-forward may then skip this core without bound.
+func (c *Core) ParkWakeNever() { c.parkWake = NoEvent }
 
 // Unpark forces a parked core back to running without invoking its done
 // callback.
@@ -210,6 +231,7 @@ func (c *Core) Unpark() {
 		c.State = CoreRunning
 		c.parkCond = nil
 		c.parkDone = nil
+		c.parkWake = 0
 	}
 }
 

@@ -20,6 +20,33 @@ type Device interface {
 	Tick(m *Machine)
 }
 
+// EventSource is implemented by devices that can predict their next
+// interesting cycle, enabling the idle fast-forward path. NextEvent
+// returns the earliest cycle value strictly greater than now at which the
+// device's Tick would not be a no-op, or NoEvent when the device stays
+// quiescent until a core or host action changes its state. A device may
+// answer conservatively early — the machine simply ticks it normally at
+// that cycle — but never late: a late answer would let fast-forward jump
+// over a DMA transfer or interrupt and break the determinism contract.
+// Devices that do not implement EventSource disable fast-forward entirely,
+// which is always safe.
+type EventSource interface {
+	NextEvent(now uint64) uint64
+}
+
+// NoEvent is the NextEvent / ParkWakeAt sentinel for "no time-driven event
+// pending".
+const NoEvent = ^uint64(0)
+
+// ParkProbeInterval bounds how far fast-forward may carry a parked core
+// whose wake cycle is undeclared: its park condition is still evaluated at
+// least once per interval, so a condition with an undeclared time
+// dependence wakes at most this many cycles late. Parks whose conditions
+// are time-driven declare an exact wake cycle with ParkWakeAt (and stay
+// bit-identical to naive stepping); purely event-driven parks declare
+// ParkWakeNever and are skipped without bound.
+const ParkProbeInterval = 1024
+
 type mmioWindow struct {
 	base, size uint64
 	dev        MMIOHandler
@@ -51,15 +78,35 @@ type Machine struct {
 	OnIRQRoute func(line, coreID int)
 
 	now uint64
+
+	// fastForward enables the event-driven idle skip in Run/RunUntil.
+	fastForward bool
+	// stepIdle reports whether the most recent Step was fully idle: no
+	// core reached an issue opportunity and no parked core woke. Only
+	// after such a Step may fast-forward engage, which guarantees every
+	// park condition and device has been evaluated naively at least once
+	// since the last core, device, or host action.
+	stepIdle bool
+	// ffSkipped counts cycles bulk-charged by fast-forward (diagnostics).
+	ffSkipped uint64
 }
+
+// defaultFastForward seeds Machine.fastForward in New. Package-level so
+// command-line tools can flip the default before systems are built.
+var defaultFastForward = true
+
+// SetDefaultFastForward sets whether newly created machines fast-forward
+// idle cycles (default true).
+func SetDefaultFastForward(on bool) { defaultFastForward = on }
 
 // New creates a machine with the given profile and physical memory size.
 // The trap handler (the kernel) must be set with SetHandler before Run.
 func New(prof Profile, memBytes int) *Machine {
 	m := &Machine{
-		prof: prof,
-		mem:  NewMem(memBytes),
-		bus:  newBus(prof.BusBytesPerCycle),
+		prof:        prof,
+		mem:         NewMem(memBytes),
+		bus:         newBus(prof.BusBytesPerCycle),
+		fastForward: defaultFastForward,
 	}
 	for i := 0; i < prof.Cores; i++ {
 		c := &Core{
@@ -177,30 +224,141 @@ func (m *Machine) Step() {
 		d.Tick(m)
 	}
 	n := len(m.cores)
-	first := int(m.now) % n
+	first := int(m.now % uint64(n))
+	m.stepIdle = true
 	for i := 0; i < n; i++ {
 		m.advance(m.cores[(first+i)%n])
 	}
 }
 
-// Run advances the machine by n cycles.
+// SetFastForward enables or disables the event-driven idle skip for this
+// machine.
+func (m *Machine) SetFastForward(on bool) { m.fastForward = on }
+
+// FastForward reports whether the idle skip is enabled.
+func (m *Machine) FastForward() bool { return m.fastForward }
+
+// FastForwarded returns the total cycles bulk-charged by the idle skip
+// instead of being stepped naively.
+func (m *Machine) FastForwarded() uint64 { return m.ffSkipped }
+
+// Run advances the machine by n cycles. With fast-forward enabled, idle
+// windows — every core parked, stalled, halted, or offline, and no device
+// due — are bulk-charged instead of stepped, with identical architectural
+// outcome (see skipIdle).
 func (m *Machine) Run(n uint64) {
+	// Host code may have mutated state (park flags, injected faults,
+	// device queues) since the last Step; force one naive Step before any
+	// skip so such changes are observed exactly as the naive loop would.
+	m.stepIdle = false
 	for i := uint64(0); i < n; i++ {
+		if m.fastForward && m.stepIdle && n-i > 1 {
+			i += m.skipIdle(n - i - 1)
+		}
 		m.Step()
 	}
 }
 
 // RunUntil steps the machine until cond returns true, or fails with
-// ErrTimeout after maxCycles.
+// ErrTimeout after maxCycles. cond must be event-driven — a function of
+// machine state that changes only when a core executes, a device acts, or
+// a park wakes; fast-forward evaluates it exactly at those points. A
+// condition on wall-cycle time alone (e.g. Now() >= X) may be observed
+// late under fast-forward; bound such waits with Run instead.
 func (m *Machine) RunUntil(cond func() bool, maxCycles uint64) error {
 	start := m.now
+	m.stepIdle = false // see Run
 	for !cond() {
 		if m.now-start >= maxCycles {
 			return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
 		}
+		if m.fastForward && m.stepIdle {
+			if left := maxCycles - (m.now - start); left > 1 {
+				m.skipIdle(left - 1)
+			}
+		}
 		m.Step()
 	}
 	return nil
+}
+
+// skipIdle bulk-charges up to limit cycles of a quiescent window: it jumps
+// now to just before the earliest cycle at which anything interesting can
+// happen — a stall expiring, a parked core's declared wake cycle, a park
+// probe falling due, or a device event — and advances every per-core cycle
+// counter, stall balance, and the bus token bucket exactly as limit naive
+// Steps would have. It returns the number of cycles skipped (possibly 0).
+//
+// Callers must only invoke it after a fully idle naive Step (stepIdle):
+// that Step proved every park condition currently false and every device
+// tick a no-op, so during the window the only evolving state is time
+// itself. The jitter PRNG advances only on issue opportunities and no core
+// reaches one while parked or stalled, so it is untouched, and the Step
+// after the skip services cores in the same rotation order the naive loop
+// would have used at that absolute cycle.
+func (m *Machine) skipIdle(limit uint64) uint64 {
+	k := limit
+	for _, c := range m.cores {
+		var d uint64
+		switch c.State {
+		case CoreHalted, CoreOffline:
+			continue
+		case CoreParked:
+			switch c.parkWake {
+			case 0: // no declared wake: bound by the probe interval
+				d = ParkProbeInterval
+			case NoEvent: // purely event-driven: no time bound
+				continue
+			default:
+				if c.parkWake <= c.Cycles+1 {
+					return 0 // due now or next cycle
+				}
+				d = c.parkWake - c.Cycles - 1
+			}
+		default: // CoreRunning: only a stall keeps it off the issue path
+			if c.stall <= 0 {
+				return 0
+			}
+			d = uint64(c.stall)
+		}
+		if d < k {
+			k = d
+		}
+	}
+	for _, dev := range m.devices {
+		es, ok := dev.(EventSource)
+		if !ok {
+			return 0 // unknown device: never skip past its ticks
+		}
+		ne := es.NextEvent(m.now)
+		if ne == NoEvent {
+			continue
+		}
+		if ne <= m.now+1 {
+			return 0
+		}
+		if d := ne - m.now - 1; d < k {
+			k = d
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	m.now += k
+	m.bus.skip(k)
+	for _, c := range m.cores {
+		if c.State != CoreParked && c.State != CoreRunning {
+			continue
+		}
+		c.Cycles += k
+		if uint64(c.stall) <= k {
+			c.stall = 0
+		} else {
+			c.stall -= int(k)
+		}
+	}
+	m.ffSkipped += k
+	return k
 }
 
 // AllHalted reports whether every core is halted or offline.
@@ -228,9 +386,11 @@ func (m *Machine) advance(c *Core) {
 			c.stall--
 		}
 		if c.parkCond != nil && c.parkCond() {
+			m.stepIdle = false
 			done := c.parkDone
 			c.State = CoreRunning
 			c.parkCond, c.parkDone = nil, nil
+			c.parkWake = 0
 			if done != nil {
 				done()
 			}
@@ -242,6 +402,10 @@ func (m *Machine) advance(c *Core) {
 		c.stall--
 		return
 	}
+	// The core reached an issue opportunity (jitter, interrupt delivery,
+	// breakpoint, or execution all advance observable state): the cycle is
+	// not idle and fast-forward must not engage on top of it.
+	m.stepIdle = false
 	if c.nextJitter(m.prof.JitterShift) {
 		return
 	}

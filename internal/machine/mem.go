@@ -185,6 +185,22 @@ func (b *bus) tick() {
 	}
 }
 
+// skip refills the bucket as k ticks would have, without iterating.
+// Refilling saturates at burst, so only the ticks needed to get there
+// matter; computing them first keeps the arithmetic overflow-free for
+// arbitrarily large k.
+func (b *bus) skip(k uint64) {
+	if b.rate <= 0 || b.tokens >= b.burst {
+		return
+	}
+	need := uint64((b.burst-b.tokens-1)/b.rate) + 1
+	if k >= need {
+		b.tokens = b.burst
+		return
+	}
+	b.tokens += int(k) * b.rate
+}
+
 // take grants a request of n bytes when the bucket is non-negative,
 // leaving debt that must drain before the next grant. Debt (rather than a
 // hard capacity check) lets single requests exceed the per-cycle rate

@@ -13,6 +13,14 @@
 // global cycle. Per-core deterministic jitter makes replicas drift apart
 // slightly, as real COTS cores do: this is the nondeterminism LC-RCoE must
 // tolerate and that exposes data races (paper §V-A1).
+//
+// When every core is parked or stalled and every device has declared its
+// next event cycle (the EventSource interface), the scheduler fast-forwards
+// across the idle window in one jump instead of stepping it cycle by
+// cycle. The skip is an optimisation of host time only: counters, device
+// ticks and wake cycles land exactly where the naive loop would put them,
+// a contract enforced by the differential determinism tests at the repo
+// root. SetDefaultFastForward and Machine.SetFastForward toggle it.
 package machine
 
 // AtomicModel selects the atomic-instruction family a profile supports.

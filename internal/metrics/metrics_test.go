@@ -118,3 +118,63 @@ func TestSnapshotOnNilSet(t *testing.T) {
 		t.Fatal("empty snapshot table should say so")
 	}
 }
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil Quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileAllZeroObservations(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 5; i++ {
+		h.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("all-zero Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileTopBucketClamp(t *testing.T) {
+	// 1<<63 lands in bucket 64, whose upper edge (1<<64) is unrepresentable;
+	// the quantile must clamp to the recorded max, not overflow to 0.
+	var h Histogram
+	h.Observe(1)
+	h.Observe(1 << 63)
+	if got := h.Quantile(1); got != 1<<63 {
+		t.Fatalf("Quantile(1) = %d, want %d", got, uint64(1)<<63)
+	}
+	// Out-of-range q clamps rather than panicking or misindexing.
+	if got := h.Quantile(2.5); got != 1<<63 {
+		t.Fatalf("Quantile(2.5) = %d, want %d", got, uint64(1)<<63)
+	}
+	if got := h.Quantile(-1); got != 1 {
+		t.Fatalf("Quantile(-1) = %d, want 1", got)
+	}
+}
+
+func TestQuantileInclusiveBucketEdge(t *testing.T) {
+	// An interior bucket's open upper edge [2,4) must be reported as the
+	// inclusive value 3; a bucket clamped at max must report max exactly.
+	var h Histogram
+	h.Observe(1)
+	h.Observe(100)
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("interior-bucket quantile = %d, want inclusive edge 1", got)
+	}
+	var g Histogram
+	g.Observe(1)
+	g.Observe(3)
+	if got := g.Quantile(1); got != 3 {
+		t.Fatalf("max-clamped quantile = %d, want 3", got)
+	}
+}
