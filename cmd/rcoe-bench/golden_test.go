@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rcoe/internal/bench"
+	"rcoe/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestJSONGolden pins the rcoe-bench/v1 artifact bytes: schema, field
+// order, table encoding, and the simulated values of a deterministic
+// experiment subset. If an intentional change alters the artifact, run
+// `go test ./cmd/rcoe-bench -run TestJSONGolden -update` and review the
+// golden diff.
+func TestJSONGolden(t *testing.T) {
+	var selected []bench.Experiment
+	for _, id := range []string{"table1", "table6", "ablate-fletcher"} {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		selected = append(selected, e)
+	}
+	report := bench.BuildReport(bench.Quick, selected, nil)
+	if n := report.Failed(); n != 0 {
+		t.Fatalf("%d experiments failed: %+v", n, report.Experiments)
+	}
+	got, err := report.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "quick.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("JSON artifact drifted from %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestJSONGoldenWorkerInvariant reruns the golden subset at several
+// engine worker counts and requires byte-identical artifacts — the CLI
+// half of the determinism contract.
+func TestJSONGoldenWorkerInvariant(t *testing.T) {
+	t.Cleanup(func() { exp.SetDefaultWorkers(0) })
+	render := func(workers int) []byte {
+		exp.SetDefaultWorkers(workers)
+		var selected []bench.Experiment
+		for _, id := range []string{"table1", "table6", "ablate-fletcher"} {
+			e, _ := bench.Lookup(id)
+			selected = append(selected, e)
+		}
+		report := bench.BuildReport(bench.Quick, selected, nil)
+		data, err := report.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); !bytes.Equal(serial, got) {
+			t.Fatalf("artifact differs between 1 and %d workers", workers)
+		}
+	}
+}

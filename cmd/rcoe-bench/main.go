@@ -2,11 +2,22 @@
 //
 // Usage:
 //
-//	rcoe-bench [-scale quick|full] [-list] [-no-fastforward] [experiment ...]
+//	rcoe-bench [-scale quick|full] [-parallel N] [-json] [-out FILE]
+//	           [-list] [-no-fastforward] [experiment ...]
 //
 // With no experiment IDs it runs everything in paper order. Each
 // experiment prints the same rows/series the paper reports; absolute
 // numbers are simulator cycles, shapes are the reproduction target.
+//
+// -parallel sets the host worker count of the experiment engine (default:
+// all cores). Worker count never changes results: -parallel=1 and
+// -parallel=N emit byte-identical artifacts.
+//
+// -json emits the campaign as an rcoe-bench/v1 JSON report instead of
+// text tables. -out writes the artifact (text or JSON) to a file —
+// results_quick.txt and results_full.txt are regenerated this way — with
+// progress on stderr. Artifacts carry no host timings, so they are
+// byte-reproducible across runs and worker counts.
 //
 // -no-fastforward disables the machine's event-driven idle skip and steps
 // every cycle naively. Results are bit-identical either way (the
@@ -21,6 +32,7 @@ import (
 	"time"
 
 	"rcoe/internal/bench"
+	"rcoe/internal/exp"
 	"rcoe/internal/machine"
 )
 
@@ -31,12 +43,16 @@ func main() {
 func run() int {
 	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallel := flag.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
+	jsonOut := flag.Bool("json", false, "emit an rcoe-bench/v1 JSON report instead of text tables")
+	outFile := flag.String("out", "", "write the artifact to FILE (progress goes to stderr)")
 	noFF := flag.Bool("no-fastforward", false, "step every cycle naively instead of fast-forwarding idle windows")
 	flag.Parse()
 
 	if *noFF {
 		machine.SetDefaultFastForward(false)
 	}
+	exp.SetDefaultWorkers(*parallel)
 
 	if *list {
 		for _, e := range bench.All() {
@@ -69,21 +85,61 @@ func run() int {
 		}
 	}
 
-	failed := 0
-	for _, e := range selected {
-		fmt.Printf("=== %s (%s)\n", e.Title, e.ID)
-		start := time.Now()
-		tbl, err := e.Run(scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rcoe-bench: %s: %v\n", e.ID, err)
-			failed++
-			continue
+	// Interactive text mode (no -json, no -out) streams each table as it
+	// lands, with host timings; artifact modes keep stdout/-out clean of
+	// timings so the bytes are reproducible.
+	streaming := !*jsonOut && *outFile == ""
+	start := time.Now()
+	report := bench.BuildReport(scale, selected, func(res bench.ExperimentResult) {
+		elapsed := time.Since(start).Seconds()
+		start = time.Now()
+		if streaming {
+			fmt.Printf("=== %s (%s)\n", res.Title, res.ID)
+			if res.Err != "" {
+				fmt.Fprintf(os.Stderr, "rcoe-bench: %s: %s\n", res.ID, res.Err)
+			} else {
+				fmt.Println(res.Table)
+			}
+			fmt.Printf("(%s in %.1fs)\n\n", res.ID, elapsed)
+			return
 		}
-		fmt.Println(tbl)
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		status := "ok"
+		if res.Err != "" {
+			status = "ERROR: " + res.Err
+		}
+		fmt.Fprintf(os.Stderr, "rcoe-bench: %s in %.1fs: %s\n", res.ID, elapsed, status)
+	})
+
+	if !streaming {
+		if err := writeArtifact(report, *jsonOut, *outFile); err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-bench: %v\n", err)
+			return 1
+		}
 	}
-	if failed > 0 {
+	if report.Failed() > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeArtifact renders the report as JSON or text to -out (or stdout).
+func writeArtifact(report *bench.Report, asJSON bool, outFile string) error {
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if asJSON {
+		data, err := report.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
+	}
+	return report.WriteText(out)
 }

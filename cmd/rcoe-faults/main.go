@@ -5,17 +5,25 @@
 //
 //	rcoe-faults [-mode base|lc|cc] [-replicas N] [-arch x86|arm]
 //	            [-trials N] [-burst N] [-no-trace] [-seed N]
-//	rcoe-faults soak [-cycles N] [-seed N] [-window N] [-budget N] [-quiet]
+//	            [-parallel N] [-json]
+//	rcoe-faults soak [-cycles N] [-campaigns N] [-seed N] [-window N]
+//	                 [-budget N] [-parallel N] [-json] [-quiet]
 //
 // The default campaign prints a per-outcome tally in the categories of
 // the paper's Tables VII/IX, with the controlled/uncontrolled split. The
 // soak subcommand drives the chaos-soak campaign: randomized fault
 // cycles (memory flips, register flips, injected stalls) against a
 // masking TMR system, with straggler ejection and live re-integration
-// after every downgrade.
+// after every downgrade. -campaigns N sweeps N independent campaigns
+// (seeds derived from -seed) fanned across host cores.
+//
+// -parallel sets the host worker count of the experiment engine; worker
+// count never changes results. -json emits a structured result artifact
+// on stdout (no host timings, byte-reproducible) with logs on stderr.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +31,7 @@ import (
 	"sort"
 
 	"rcoe/internal/core"
+	"rcoe/internal/exp"
 	"rcoe/internal/faults"
 	"rcoe/internal/harness"
 	"rcoe/internal/machine"
@@ -40,6 +49,37 @@ func run() int {
 	return runMemCampaign(os.Args[1:])
 }
 
+// tallyCounts converts a tally's outcome map to string keys, which
+// encoding/json emits in sorted order — a deterministic artifact.
+func tallyCounts(t *faults.Tally) map[string]uint64 {
+	counts := map[string]uint64{}
+	for o, n := range t.Counts {
+		counts[o.String()] = n
+	}
+	return counts
+}
+
+// sortedOutcomes returns the tally's outcomes in stable order for text
+// output.
+func sortedOutcomes(t *faults.Tally) []faults.Outcome {
+	var keys []faults.Outcome
+	for o := range t.Counts {
+		keys = append(keys, o)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func emitJSON(v any) int {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 func runMemCampaign(args []string) int {
 	fs := flag.NewFlagSet("rcoe-faults", flag.ExitOnError)
 	mode := fs.String("mode", "lc", "replication mode: base, lc or cc")
@@ -50,7 +90,10 @@ func runMemCampaign(args []string) int {
 	noTrace := fs.Bool("no-trace", false, "disable driver output traces (the -N configurations)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	ops := fs.Uint64("ops", 150, "client operations per trial")
+	parallel := fs.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
+	jsonOut := fs.Bool("json", false, "emit a structured JSON result on stdout")
 	_ = fs.Parse(args)
+	exp.SetDefaultWorkers(*parallel)
 
 	var m core.Mode
 	switch *mode {
@@ -101,14 +144,30 @@ func runMemCampaign(args []string) int {
 		return 1
 	}
 
+	if *jsonOut {
+		return emitJSON(struct {
+			Schema       string            `json:"schema"`
+			Mode         string            `json:"mode"`
+			Replicas     int               `json:"replicas"`
+			Arch         string            `json:"arch"`
+			Trials       int               `json:"trials"`
+			Seed         uint64            `json:"seed"`
+			Injected     uint64            `json:"injected"`
+			Outcomes     map[string]uint64 `json:"outcomes"`
+			Observed     uint64            `json:"observed"`
+			Controlled   uint64            `json:"controlled"`
+			Uncontrolled uint64            `json:"uncontrolled"`
+		}{
+			Schema: "rcoe-faults/mem/v1", Mode: *mode, Replicas: *replicas,
+			Arch: *arch, Trials: *trials, Seed: *seed,
+			Injected: tally.Injected, Outcomes: tallyCounts(tally),
+			Observed: tally.Observed(), Controlled: tally.Controlled(),
+			Uncontrolled: tally.Uncontrolled(),
+		})
+	}
 	fmt.Printf("campaign: %s-%d on %s, %d trials, %d bit flips\n",
 		*mode, *replicas, *arch, *trials, tally.Injected)
-	var keys []faults.Outcome
-	for o := range tally.Counts {
-		keys = append(keys, o)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, o := range keys {
+	for _, o := range sortedOutcomes(tally) {
 		fmt.Printf("  %-20s %d\n", o.String(), tally.Counts[o])
 	}
 	fmt.Printf("observed errors: %d  controlled: %d  uncontrolled: %d\n",
@@ -119,23 +178,34 @@ func runMemCampaign(args []string) int {
 func runSoak(args []string) int {
 	fs := flag.NewFlagSet("rcoe-faults soak", flag.ExitOnError)
 	cycles := fs.Int("cycles", 20, "fault cycles to run")
-	seed := fs.Uint64("seed", 1, "campaign seed")
+	campaigns := fs.Int("campaigns", 1, "independent campaigns to sweep in parallel")
+	seed := fs.Uint64("seed", 1, "campaign seed (sweep master seed with -campaigns > 1)")
 	window := fs.Uint64("window", 2_000_000, "availability window in cycles")
 	budget := fs.Uint64("budget", 40_000_000, "cycle budget per fault cycle")
+	parallel := fs.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
+	jsonOut := fs.Bool("json", false, "emit a structured JSON result on stdout (logs go to stderr)")
 	quiet := fs.Bool("quiet", false, "suppress the per-cycle log")
 	_ = fs.Parse(args)
+	exp.SetDefaultWorkers(*parallel)
 
-	opts := faults.SoakOptions{
-		Cycles:       *cycles,
-		Seed:         *seed,
-		WindowCycles: *window,
-		CycleBudget:  *budget,
+	opts := faults.SoakSweepOptions{
+		Soak: faults.SoakOptions{
+			Cycles:       *cycles,
+			Seed:         *seed,
+			WindowCycles: *window,
+			CycleBudget:  *budget,
+		},
+		Campaigns: *campaigns,
 	}
 	if !*quiet {
-		opts.Log = func(line string) { fmt.Println(line) }
+		logOut := os.Stdout
+		if *jsonOut {
+			logOut = os.Stderr // keep stdout clean for the artifact
+		}
+		opts.Soak.Log = func(line string) { fmt.Fprintln(logOut, line) }
 	}
-	res, err := faults.Soak(opts)
-	if err != nil {
+	res, err := faults.SoakSweep(opts)
+	if err != nil && !*jsonOut {
 		if errors.Is(err, faults.ErrNoEjection) {
 			fmt.Fprintf(os.Stderr, "rcoe-faults soak: straggler ejection failed: %v\n", err)
 		} else {
@@ -144,29 +214,64 @@ func runSoak(args []string) int {
 		return 1
 	}
 
-	fmt.Printf("soak: %d cycles, seed %#x\n", len(res.Cycles), *seed)
-	var keys []faults.Outcome
-	for o := range res.Tally.Counts {
-		keys = append(keys, o)
+	if *jsonOut {
+		violations := res.Violations
+		if violations == nil {
+			violations = []string{}
+		}
+		code := emitJSON(struct {
+			Schema         string            `json:"schema"`
+			Campaigns      int               `json:"campaigns"`
+			CyclesEach     int               `json:"cycles_each"`
+			Seed           uint64            `json:"seed"`
+			Seeds          []uint64          `json:"seeds"`
+			Outcomes       map[string]uint64 `json:"outcomes"`
+			Ops            uint64            `json:"ops"`
+			Errors         uint64            `json:"errors"`
+			Corruptions    uint64            `json:"corruptions"`
+			Ejections      uint64            `json:"ejections"`
+			Reintegrations uint64            `json:"reintegrations"`
+			Violations     []string          `json:"violations"`
+			Ok             bool              `json:"ok"`
+		}{
+			Schema: "rcoe-faults/soak/v1", Campaigns: len(res.Campaigns),
+			CyclesEach: *cycles, Seed: *seed, Seeds: res.Seeds,
+			Outcomes: tallyCounts(res.Tally), Ops: res.Ops, Errors: res.Errors,
+			Corruptions: res.Corruptions, Ejections: res.Ejections,
+			Reintegrations: res.Reintegrations, Violations: violations, Ok: res.Ok(),
+		})
+		if code != 0 || err != nil || !res.Ok() {
+			return 1
+		}
+		return 0
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, o := range keys {
+
+	fmt.Printf("soak: %d campaigns x %d cycles, seed %#x\n", len(res.Campaigns), *cycles, *seed)
+	for _, o := range sortedOutcomes(res.Tally) {
 		fmt.Printf("  %-20s %d\n", o.String(), res.Tally.Counts[o])
 	}
 	fmt.Printf("client ops: %d  errors: %d  corruptions: %d\n",
 		res.Ops, res.Errors, res.Corruptions)
-	fmt.Printf("ejections: %d  reintegrations: %d  windows: %d  min window: %.1f ops/Mcycle\n",
-		res.Ejections, res.Reintegrations, len(res.Windows), res.MinWindow)
-	fmt.Println()
-	fmt.Println(res.Metrics.Table("soak metrics (cycles unless noted)"))
+	fmt.Printf("ejections: %d  reintegrations: %d\n", res.Ejections, res.Reintegrations)
+	for ci := range res.Campaigns {
+		c := &res.Campaigns[ci]
+		fmt.Printf("campaign %d: windows: %d  min window: %.1f ops/Mcycle\n",
+			ci, len(c.Windows), c.MinWindow)
+	}
+	if len(res.Campaigns) == 1 {
+		fmt.Println()
+		fmt.Println(res.Campaigns[0].Metrics.Table("soak metrics (cycles unless noted)"))
+	}
 	if !res.Ok() {
 		fmt.Println("invariant violations:")
 		for _, v := range res.Violations {
 			fmt.Printf("  %s\n", v)
 		}
-		for _, rep := range res.Forensics {
-			fmt.Println()
-			fmt.Println(rep)
+		for ci := range res.Campaigns {
+			for _, rep := range res.Campaigns[ci].Forensics {
+				fmt.Println()
+				fmt.Println(rep)
+			}
 		}
 		return 1
 	}

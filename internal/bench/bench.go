@@ -6,11 +6,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"rcoe/internal/compilerpass"
 	"rcoe/internal/core"
+	"rcoe/internal/exp"
 	"rcoe/internal/guest"
 	"rcoe/internal/isa"
 	"rcoe/internal/kernel"
@@ -143,21 +145,45 @@ func alignPow2(v uint64) uint64 {
 	return p
 }
 
+// fanOut runs n independent experiment cells on the experiment engine and
+// returns their values in cell order. Cells must be self-contained
+// simulated runs; the engine guarantees the values are identical at any
+// host worker count.
+func fanOut[T any](label string, n int, run func(i int) (T, error)) ([]T, error) {
+	jobs := make([]exp.Job[T], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = exp.Job[T]{
+			Name: fmt.Sprintf("%s[%d]", label, i),
+			Run:  func(context.Context, uint64) (T, error) { return run(i) },
+		}
+	}
+	results, err := exp.Run(exp.Options{}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Values(results)
+}
+
 // repeatRuns measures a program repeatedly, perturbing the tick phase so
 // synchronisation points land at different code locations (the source of
-// the paper's run-to-run variance on Whetstone).
+// the paper's run-to-run variance on Whetstone). Repetitions are
+// independent runs and fan out on the engine; the sample accumulates in
+// repetition order.
 func repeatRuns(cfg core.Config, p guest.Program, reps int, budget uint64) (*stats.Sample, error) {
-	var s stats.Sample
-	for i := 0; i < reps; i++ {
+	cycles, err := fanOut("rep/"+p.Name, reps, func(i int) (uint64, error) {
 		c := cfg
 		if c.TickCycles > 0 {
 			c.TickCycles += uint64(i) * 137
 		}
-		cycles, err := runProgram(c, p, budget)
-		if err != nil {
-			return nil, err
-		}
-		s.Add(float64(cycles))
+		return runProgram(c, p, budget)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var s stats.Sample
+	for _, c := range cycles {
+		s.Add(float64(c))
 	}
 	return &s, nil
 }

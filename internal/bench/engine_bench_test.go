@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"rcoe/internal/exp"
+)
+
+// runTable7Full runs the full-scale Table VII campaign at a fixed engine
+// worker count and returns its wall-clock time.
+func runTable7Full(b *testing.B, workers int) time.Duration {
+	b.Helper()
+	exp.SetDefaultWorkers(workers)
+	defer exp.SetDefaultWorkers(0)
+	start := time.Now()
+	if _, err := Table7(Full); err != nil {
+		b.Fatalf("table7 full (workers=%d): %v", workers, err)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkTable7FullSerial pins the engine to one worker — the
+// pre-engine serial baseline.
+func BenchmarkTable7FullSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runTable7Full(b, 1)
+	}
+}
+
+// BenchmarkTable7FullParallel uses the default pool (all host cores).
+func BenchmarkTable7FullParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runTable7Full(b, 0)
+	}
+}
+
+// BenchmarkTable7FullSpeedup runs the full-scale Table VII campaign
+// serially and with the default worker pool in one benchmark and reports
+// the wall-clock ratio as the `speedup` metric:
+//
+//	go test ./internal/bench -bench Table7FullSpeedup -benchtime 1x
+//
+// The campaign is ~embarrassingly parallel (10 independent rows, each
+// fanning independent trials), so on an 8-core host the recorded speedup
+// approaches the core count (>=4x); on a single-core host it records ~1x.
+// Simulated results are identical either way — only host time moves.
+func BenchmarkTable7FullSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		serial := runTable7Full(b, 1)
+		parallel := runTable7Full(b, 0)
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+		b.ReportMetric(serial.Seconds(), "serial-s")
+		b.ReportMetric(parallel.Seconds(), "parallel-s")
+	}
+}

@@ -26,26 +26,52 @@ func faultKV(mode core.Mode, reps int, prof machine.Profile, trace bool, ops uin
 	}
 }
 
-// memRow runs one Table VII configuration and renders its outcome counts.
-func memRow(t *stats.Table, label string, opts faults.MemCampaignOptions) error {
-	tally, err := faults.MemCampaign(opts)
+// memRowSpec is one Table VII/IX row: either a section banner or a
+// labelled campaign configuration.
+type memRowSpec struct {
+	section string
+	label   string
+	opts    faults.MemCampaignOptions
+}
+
+// memTable runs every campaign row on the engine (each campaign fans its
+// trials out in turn) and renders the rows in spec order.
+func memTable(title string, rows []memRowSpec) (*stats.Table, error) {
+	tallies, err := fanOut(title, len(rows), func(i int) (*faults.Tally, error) {
+		if rows[i].label == "" {
+			return nil, nil // section banner: nothing to run
+		}
+		tally, err := faults.MemCampaign(rows[i].opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rows[i].label, err)
+		}
+		return tally, nil
+	})
 	if err != nil {
-		return fmt.Errorf("%s: %w", label, err)
+		return nil, err
 	}
-	c := tally.Counts
-	t.AddRow(label,
-		fmt.Sprintf("%d", tally.Injected),
-		fmt.Sprintf("%d", tally.Observed()),
-		fmt.Sprintf("%d", c[faults.OutcomeYCSBCorruption]),
-		fmt.Sprintf("%d", c[faults.OutcomeYCSBError]),
-		fmt.Sprintf("%d", c[faults.OutcomeUserMemFault]+c[faults.OutcomeOtherUserFault]),
-		fmt.Sprintf("%d", c[faults.OutcomeKernelException]),
-		fmt.Sprintf("%d", c[faults.OutcomeBarrierTimeout]),
-		fmt.Sprintf("%d", c[faults.OutcomeSignatureMismatch]+c[faults.OutcomeMasked]),
-		fmt.Sprintf("%d", tally.Uncontrolled()),
-		fmt.Sprintf("%d", tally.Controlled()),
-	)
-	return nil
+	t := stats.NewTable(title, memHeaders()...)
+	for i, row := range rows {
+		if row.label == "" {
+			t.AddRow(row.section)
+			continue
+		}
+		tally := tallies[i]
+		c := tally.Counts
+		t.AddRow(row.label,
+			fmt.Sprintf("%d", tally.Injected),
+			fmt.Sprintf("%d", tally.Observed()),
+			fmt.Sprintf("%d", c[faults.OutcomeYCSBCorruption]),
+			fmt.Sprintf("%d", c[faults.OutcomeYCSBError]),
+			fmt.Sprintf("%d", c[faults.OutcomeUserMemFault]+c[faults.OutcomeOtherUserFault]),
+			fmt.Sprintf("%d", c[faults.OutcomeKernelException]),
+			fmt.Sprintf("%d", c[faults.OutcomeBarrierTimeout]),
+			fmt.Sprintf("%d", c[faults.OutcomeSignatureMismatch]+c[faults.OutcomeMasked]),
+			fmt.Sprintf("%d", tally.Uncontrolled()),
+			fmt.Sprintf("%d", tally.Controlled()),
+		)
+	}
+	return t, nil
 }
 
 func memHeaders() []string {
@@ -57,13 +83,13 @@ func memHeaders() []string {
 // targets all kernels plus the primary's user memory; the Arm variant
 // targets every replica's memory and adds exception-handler barriers. The
 // -N rows disable driver output tracing, which dramatically raises the
-// undetected-corruption rate.
+// undetected-corruption rate. Rows fan out on the engine, and each row's
+// campaign fans its trials out beneath it.
 func Table7(s Scale) (*stats.Table, error) {
 	trials, ops := 10, uint64(400)
 	if s == Full {
 		trials, ops = 40, 800
 	}
-	t := stats.NewTable("Table VII: memory fault injection outcomes (trials)", memHeaders()...)
 	mk := func(mode core.Mode, reps int, prof machine.Profile, trace, allReps bool, seed uint64) faults.MemCampaignOptions {
 		return faults.MemCampaignOptions{
 			KV:                faultKV(mode, reps, prof, trace, ops),
@@ -75,67 +101,51 @@ func Table7(s Scale) (*stats.Table, error) {
 			Seed:              seed,
 		}
 	}
-	t.AddRow("-- x86: kernels + primary user memory --")
-	x86 := machine.X86()
-	if err := memRow(t, "Base", mk(core.ModeNone, 1, x86, true, false, 1)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-D", mk(core.ModeLC, 2, x86, true, false, 2)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-T", mk(core.ModeLC, 3, x86, true, false, 3)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "CC-D", mk(core.ModeCC, 2, x86, true, false, 4)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "CC-T", mk(core.ModeCC, 3, x86, true, false, 5)); err != nil {
-		return nil, err
-	}
-	t.AddRow("-- arm: all replicas' memory, exception barriers --")
-	arm := machine.Arm()
-	if err := memRow(t, "LC-D", mk(core.ModeLC, 2, arm, true, true, 6)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-T", mk(core.ModeLC, 3, arm, true, true, 7)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "CC-D", mk(core.ModeCC, 2, arm, true, true, 8)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-D-N (no output traces)", mk(core.ModeLC, 2, arm, false, true, 9)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-T-N (no output traces)", mk(core.ModeLC, 3, arm, false, true, 10)); err != nil {
-		return nil, err
-	}
-	return t, nil
+	x86, arm := machine.X86(), machine.Arm()
+	return memTable("Table VII: memory fault injection outcomes (trials)", []memRowSpec{
+		{section: "-- x86: kernels + primary user memory --"},
+		{label: "Base", opts: mk(core.ModeNone, 1, x86, true, false, 1)},
+		{label: "LC-D", opts: mk(core.ModeLC, 2, x86, true, false, 2)},
+		{label: "LC-T", opts: mk(core.ModeLC, 3, x86, true, false, 3)},
+		{label: "CC-D", opts: mk(core.ModeCC, 2, x86, true, false, 4)},
+		{label: "CC-T", opts: mk(core.ModeCC, 3, x86, true, false, 5)},
+		{section: "-- arm: all replicas' memory, exception barriers --"},
+		{label: "LC-D", opts: mk(core.ModeLC, 2, arm, true, true, 6)},
+		{label: "LC-T", opts: mk(core.ModeLC, 3, arm, true, true, 7)},
+		{label: "CC-D", opts: mk(core.ModeCC, 2, arm, true, true, 8)},
+		{label: "LC-D-N (no output traces)", opts: mk(core.ModeLC, 2, arm, false, true, 9)},
+		{label: "LC-T-N (no output traces)", opts: mk(core.ModeLC, 3, arm, false, true, 10)},
+	})
 }
 
 // Table8 reproduces the register fault-injection study on md5sum: the
 // baseline crashes or silently corrupts; CC-RCoE DMR controls every
-// error.
+// error. Both configurations fan out, and each campaign fans its trials.
 func Table8(s Scale) (*stats.Table, error) {
 	trials, msg := 8, 16384
 	if s == Full {
 		trials, msg = 40, 65536
 	}
-	t := stats.NewTable("Table VIII: register fault injection on md5 (trials)",
-		"config", "trials", "crashes", "corruptions", "timeouts", "mismatches",
-		"uncontrolled", "controlled")
-	for _, c := range []struct {
+	cases := []struct {
 		label string
 		cfg   core.Config
 	}{
 		{"Base", core.Config{Mode: core.ModeNone, Replicas: 1}},
 		{"CC-D", core.Config{Mode: core.ModeCC, Replicas: 2}},
-	} {
-		tally, err := faults.RegCampaign(faults.RegCampaignOptions{
-			System: c.cfg, MessageBytes: msg, Trials: trials, Seed: 17,
+	}
+	tallies, err := fanOut("table8", len(cases), func(i int) (faults.RegTally, error) {
+		return faults.RegCampaign(faults.RegCampaignOptions{
+			System: cases[i].cfg, MessageBytes: msg, Trials: trials, Seed: 17,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Table VIII: register fault injection on md5 (trials)",
+		"config", "trials", "crashes", "corruptions", "timeouts", "mismatches",
+		"uncontrolled", "controlled")
+	for i, c := range cases {
+		tally := tallies[i]
 		t.AddRow(c.label, fmt.Sprintf("%d", tally.Injected),
 			fmt.Sprintf("%d", tally.Crashes), fmt.Sprintf("%d", tally.Corruptions),
 			fmt.Sprintf("%d", tally.Timeouts), fmt.Sprintf("%d", tally.Mismatches),
@@ -152,7 +162,6 @@ func Table9(s Scale) (*stats.Table, error) {
 	if s == Full {
 		trials, ops = 30, 600
 	}
-	t := stats.NewTable("Table IX: overclocking-style burst faults (trials)", memHeaders()...)
 	arm := machine.Arm()
 	mk := func(mode core.Mode, reps int, seed uint64) faults.MemCampaignOptions {
 		return faults.MemCampaignOptions{
@@ -166,64 +175,58 @@ func Table9(s Scale) (*stats.Table, error) {
 			Seed:              seed,
 		}
 	}
-	if err := memRow(t, "Base", mk(core.ModeNone, 1, 21)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-D", mk(core.ModeLC, 2, 22)); err != nil {
-		return nil, err
-	}
-	if err := memRow(t, "LC-T", mk(core.ModeLC, 3, 23)); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return memTable("Table IX: overclocking-style burst faults (trials)", []memRowSpec{
+		{label: "Base", opts: mk(core.ModeNone, 1, 21)},
+		{label: "LC-D", opts: mk(core.ModeLC, 2, 22)},
+		{label: "LC-T", opts: mk(core.ModeLC, 3, 23)},
+	})
 }
 
 // Table10 measures the TMR->DMR downgrade cost: removing the primary
 // (interrupt re-routing plus DMA reconfiguration) versus removing another
 // replica, for LC and CC on x86 and LC on Arm (CC masking needs the spare
-// PTE bit the Arm profile lacks).
+// PTE bit the Arm profile lacks). The eight platform × case trials fan
+// out on the engine.
 func Table10(Scale) (*stats.Table, error) {
+	profiles := []machine.Profile{machine.X86(), machine.Arm()}
+	cases := []struct {
+		mode   core.Mode
+		faulty int
+	}{
+		{core.ModeLC, 0}, {core.ModeLC, 2},
+		{core.ModeCC, 0}, {core.ModeCC, 2},
+	}
+	cells, err := fanOut("table10", len(profiles)*len(cases), func(i int) (string, error) {
+		prof := profiles[i/len(cases)]
+		c := cases[i%len(cases)]
+		if c.mode == core.ModeCC && !prof.HasSparePTEBit && c.faulty == 0 {
+			return "N/A (no spare PTE bit)", nil
+		}
+		res, err := faults.RecoveryTrial(faults.RecoveryOptions{
+			System:        core.Config{Mode: c.mode, Profile: prof},
+			FaultyReplica: c.faulty,
+			Seed:          31,
+		})
+		if err != nil {
+			return "", fmt.Errorf("%s/%v/faulty=%d: %w", prof.Name, c.mode, c.faulty, err)
+		}
+		return fmt.Sprintf("%d", res.Cycles), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Table X: recovery cost (cycles)",
 		"platform", "LC primary", "LC other", "CC primary", "CC other")
-	row := func(prof machine.Profile) ([4]string, error) {
-		var out [4]string
-		cases := []struct {
-			idx    int
-			mode   core.Mode
-			faulty int
-		}{
-			{0, core.ModeLC, 0}, {1, core.ModeLC, 2},
-			{2, core.ModeCC, 0}, {3, core.ModeCC, 2},
-		}
-		for _, c := range cases {
-			if c.mode == core.ModeCC && !prof.HasSparePTEBit && c.faulty == 0 {
-				out[c.idx] = "N/A (no spare PTE bit)"
-				continue
-			}
-			res, err := faults.RecoveryTrial(faults.RecoveryOptions{
-				System:        core.Config{Mode: c.mode, Profile: prof},
-				FaultyReplica: c.faulty,
-				Seed:          31,
-			})
-			if err != nil {
-				return out, fmt.Errorf("%s/%v/faulty=%d: %w", prof.Name, c.mode, c.faulty, err)
-			}
-			out[c.idx] = fmt.Sprintf("%d", res.Cycles)
-		}
-		return out, nil
-	}
-	for _, prof := range []machine.Profile{machine.X86(), machine.Arm()} {
-		cells, err := row(prof)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(prof.Name, cells[0], cells[1], cells[2], cells[3])
+	for fi, prof := range profiles {
+		row := cells[fi*len(cases) : (fi+1)*len(cases)]
+		t.AddRow(prof.Name, row[0], row[1], row[2], row[3])
 	}
 	return t, nil
 }
 
 // Fig4 shows service continuing across a masked failure: TMR throughput
 // sampled in windows, with the downgrade marked, settling at DMR levels.
+// A single timeline run: nothing to fan out.
 func Fig4(Scale) (*stats.Table, error) {
 	res, err := faults.RecoveryTrial(faults.RecoveryOptions{
 		System:         core.Config{Mode: core.ModeLC},

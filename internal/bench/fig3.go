@@ -55,7 +55,9 @@ func fig3Cases() []fig3Case {
 // Fig3 measures KV-server throughput under the YCSB workloads for every
 // replication/signature configuration, relative to the unreplicated
 // baseline (the paper's Fig. 3 bar charts; YCSB-F is omitted there for
-// readability and included here for completeness).
+// readability and included here for completeness). Every bar is one
+// independent KV run and fans out on the engine; rows normalise against
+// the Base bar after all results land.
 func Fig3(s Scale) (*stats.Table, error) {
 	kinds := []workload.Kind{workload.YCSBA, workload.YCSBB, workload.YCSBC,
 		workload.YCSBD, workload.YCSBE}
@@ -66,38 +68,49 @@ func Fig3(s Scale) (*stats.Table, error) {
 		records, ops = 128, 400
 		kinds = append(kinds, workload.YCSBF)
 	}
+	cases := fig3Cases()
+	perProfile := len(cases) * len(kinds)
+	tps, err := fanOut("fig3", len(profiles)*perProfile, func(i int) (float64, error) {
+		prof := profiles[i/perProfile]
+		c := cases[(i/len(kinds))%len(cases)]
+		kind := kinds[i%len(kinds)]
+		res, err := harness.RunKV(harness.KVOptions{
+			System: core.Config{
+				Mode: c.mode, Replicas: c.reps, Sig: c.sig,
+				Profile: prof, TickCycles: 60_000,
+			},
+			Workload:    kind,
+			Records:     records,
+			Operations:  ops,
+			TraceOutput: true,
+			Seed:        11,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("fig3 %s/%s/%v: %w", prof.Name, c.label, kind, err)
+		}
+		return res.Throughput, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var headers []string
 	headers = append(headers, "config")
 	for _, k := range kinds {
 		headers = append(headers, "YCSB-"+k.String())
 	}
 	t := stats.NewTable("Fig 3: KV throughput (ops/Mcycle; % of base)", headers...)
-	for _, prof := range profiles {
+	for fi, prof := range profiles {
 		t.AddRow("-- " + prof.Name + " --")
 		base := map[workload.Kind]float64{}
-		for _, c := range fig3Cases() {
+		for ci, c := range cases {
 			row := []string{c.label}
-			for _, kind := range kinds {
-				res, err := harness.RunKV(harness.KVOptions{
-					System: core.Config{
-						Mode: c.mode, Replicas: c.reps, Sig: c.sig,
-						Profile: prof, TickCycles: 60_000,
-					},
-					Workload:    kind,
-					Records:     records,
-					Operations:  ops,
-					TraceOutput: true,
-					Seed:        11,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig3 %s/%s/%v: %w", prof.Name, c.label, kind, err)
-				}
+			for ki, kind := range kinds {
+				tp := tps[fi*perProfile+ci*len(kinds)+ki]
 				if c.mode == core.ModeNone {
-					base[kind] = res.Throughput
-					row = append(row, fmt.Sprintf("%.1f", res.Throughput))
+					base[kind] = tp
+					row = append(row, fmt.Sprintf("%.1f", tp))
 				} else {
-					row = append(row, fmt.Sprintf("%.1f (%.0f%%)", res.Throughput,
-						100*res.Throughput/base[kind]))
+					row = append(row, fmt.Sprintf("%.1f (%.0f%%)", tp, 100*tp/base[kind]))
 				}
 			}
 			t.AddRow(row...)
@@ -114,19 +127,23 @@ func AblateSig(s Scale) (*stats.Table, error) {
 	if s == Full {
 		ops = 500
 	}
-	t := stats.NewTable("Ablation: signature configuration (LC-D, YCSB-A)",
-		"config", "ops/Mcycle", "votes", "votes/op")
-	for _, sig := range []core.SigConfig{core.SigIO, core.SigArgs, core.SigSync} {
-		res, err := harness.RunKV(harness.KVOptions{
+	sigs := []core.SigConfig{core.SigIO, core.SigArgs, core.SigSync}
+	results, err := fanOut("ablate-sig", len(sigs), func(i int) (harness.KVResult, error) {
+		return harness.RunKV(harness.KVOptions{
 			System: core.Config{
-				Mode: core.ModeLC, Replicas: 2, Sig: sig, TickCycles: 60_000,
+				Mode: core.ModeLC, Replicas: 2, Sig: sigs[i], TickCycles: 60_000,
 			},
 			Workload: workload.YCSBA, Records: 48, Operations: ops,
 			TraceOutput: true, Seed: 11,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: signature configuration (LC-D, YCSB-A)",
+		"config", "ops/Mcycle", "votes", "votes/op")
+	for i, sig := range sigs {
+		res := results[i]
 		votes := res.Stats.Votes
 		t.AddRow(sig.String(), fmt.Sprintf("%.1f", res.Throughput),
 			fmt.Sprintf("%d", votes), fmt.Sprintf("%.2f", float64(votes)/float64(res.Ops)))
@@ -142,28 +159,31 @@ func AblateTick(s Scale) (*stats.Table, error) {
 	if s == Full {
 		ops = 400
 	}
-	t := stats.NewTable("Ablation: tick period vs overhead (LC-D, YCSB-A)",
-		"tick cycles", "ops/Mcycle", "syncs")
-	for _, tick := range ticks {
-		res, err := harness.RunKV(harness.KVOptions{
+	results, err := fanOut("ablate-tick", len(ticks), func(i int) (harness.KVResult, error) {
+		return harness.RunKV(harness.KVOptions{
 			System: core.Config{
-				Mode: core.ModeLC, Replicas: 2, TickCycles: tick,
+				Mode: core.ModeLC, Replicas: 2, TickCycles: ticks[i],
 			},
 			Workload: workload.YCSBA, Records: 48, Operations: ops,
 			TraceOutput: true, Seed: 11,
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", tick), fmt.Sprintf("%.1f", res.Throughput),
-			fmt.Sprintf("%d", res.Stats.Syncs))
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: tick period vs overhead (LC-D, YCSB-A)",
+		"tick cycles", "ops/Mcycle", "syncs")
+	for i, tick := range ticks {
+		t.AddRow(fmt.Sprintf("%d", tick), fmt.Sprintf("%.1f", results[i].Throughput),
+			fmt.Sprintf("%d", results[i].Stats.Syncs))
 	}
 	return t, nil
 }
 
 // AblateCounting compares hardware-PMU branch counting against the
 // compiler-assisted reserved-register scheme on the same (x86) machine,
-// isolating the instrumentation cost (§III-D).
+// isolating the instrumentation cost (§III-D). The four
+// workload × scheme samples fan out on the engine.
 func AblateCounting(s Scale) (*stats.Table, error) {
 	loops := int64(1500)
 	reps := 3
@@ -171,27 +191,24 @@ func AblateCounting(s Scale) (*stats.Table, error) {
 		loops = 6000
 		reps = 8
 	}
+	workloads := []string{"dhrystone", "whetstone"}
+	samples, err := fanOut("ablate-count", len(workloads)*2, func(i int) (*stats.Sample, error) {
+		cfg := core.Config{
+			Mode: core.ModeCC, Replicas: 2, TickCycles: 30_000,
+			ForceCompilerCounting: i%2 == 1,
+		}
+		if workloads[i/2] == "dhrystone" {
+			return repeatRuns(cfg, guest.Dhrystone(loops), reps, 3_000_000_000)
+		}
+		return repeatRuns(cfg, guest.Whetstone(loops/5), reps, 3_000_000_000)
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Ablation: branch counting scheme (CC-D on x86, kilocycles)",
 		"workload", "hardware PMU", "compiler-assisted", "penalty")
-	for _, w := range []string{"dhrystone", "whetstone"} {
-		var hw, sw *stats.Sample
-		var err error
-		mk := func(force bool) (*stats.Sample, error) {
-			cfg := core.Config{
-				Mode: core.ModeCC, Replicas: 2, TickCycles: 30_000,
-				ForceCompilerCounting: force,
-			}
-			if w == "dhrystone" {
-				return repeatRuns(cfg, guest.Dhrystone(loops), reps, 3_000_000_000)
-			}
-			return repeatRuns(cfg, guest.Whetstone(loops/5), reps, 3_000_000_000)
-		}
-		if hw, err = mk(false); err != nil {
-			return nil, err
-		}
-		if sw, err = mk(true); err != nil {
-			return nil, err
-		}
+	for wi, w := range workloads {
+		hw, sw := samples[wi*2], samples[wi*2+1]
 		t.AddRow(w, fmt.Sprintf("%.0f", hw.Mean()/1000), fmt.Sprintf("%.0f", sw.Mean()/1000),
 			factor(sw.Mean(), hw.Mean()))
 	}

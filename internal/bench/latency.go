@@ -20,17 +20,20 @@ func AblateLatency(s Scale) (*stats.Table, error) {
 	if s == Full {
 		reps = 8
 	}
+	ticks := []uint64{10_000, 30_000, 90_000, 270_000}
+	lats, err := fanOut("ablate-latency", len(ticks)*reps, func(i int) (uint64, error) {
+		return detectionLatency(core.Config{
+			Mode: core.ModeLC, Replicas: 2, TickCycles: ticks[i/reps],
+		}, 40_000+uint64(i%reps)*17_001)
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Ablation: detection latency vs tick period (LC-D, cycles)",
 		"tick", "mean latency", "max latency")
-	for _, tick := range []uint64{10_000, 30_000, 90_000, 270_000} {
+	for ti, tick := range ticks {
 		var sample stats.Sample
-		for i := 0; i < reps; i++ {
-			lat, err := detectionLatency(core.Config{
-				Mode: core.ModeLC, Replicas: 2, TickCycles: tick,
-			}, 40_000+uint64(i)*17_001)
-			if err != nil {
-				return nil, err
-			}
+		for _, lat := range lats[ti*reps : (ti+1)*reps] {
 			sample.Add(float64(lat))
 		}
 		t.AddRow(fmt.Sprintf("%d", tick),

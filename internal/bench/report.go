@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rcoe/internal/stats"
+)
+
+// ReportSchema identifies the JSON artifact format rcoe-bench emits.
+const ReportSchema = "rcoe-bench/v1"
+
+// ExperimentResult is one experiment's outcome in a Report: its table on
+// success, or the error string on failure. Host timings are deliberately
+// absent — a report contains only simulated results, so serial and
+// parallel runs of the same campaign produce byte-identical artifacts.
+type ExperimentResult struct {
+	ID    string       `json:"id"`
+	Title string       `json:"title"`
+	Table *stats.Table `json:"table,omitempty"`
+	Err   string       `json:"err,omitempty"`
+}
+
+// Report is the structured result artifact of a benchmark campaign.
+type Report struct {
+	Schema      string             `json:"schema"`
+	Scale       string             `json:"scale"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// Failed counts experiments that returned an error.
+func (r *Report) Failed() int {
+	n := 0
+	for _, e := range r.Experiments {
+		if e.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildReport runs the selected experiments in order and collects their
+// tables into a Report. Experiment errors are recorded per entry and do
+// not abort the campaign. onDone, if non-nil, is called after each
+// experiment completes (for progress output on a terminal).
+func BuildReport(scale Scale, selected []Experiment, onDone func(ExperimentResult)) *Report {
+	r := &Report{Schema: ReportSchema, Experiments: []ExperimentResult{}}
+	switch scale {
+	case Full:
+		r.Scale = "full"
+	default:
+		r.Scale = "quick"
+	}
+	for _, e := range selected {
+		res := ExperimentResult{ID: e.ID, Title: e.Title}
+		tbl, err := e.Run(scale)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Table = tbl
+		}
+		r.Experiments = append(r.Experiments, res)
+		if onDone != nil {
+			onDone(res)
+		}
+	}
+	return r
+}
+
+// MarshalIndent renders the report as stable, indented JSON with a
+// trailing newline — the byte-exact artifact format the determinism
+// contract covers.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteText renders the report in the classic results_*.txt format: a
+// banner and table per experiment. It carries no host timings, so a text
+// artifact is as reproducible as the JSON one.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, e := range r.Experiments {
+		if _, err := fmt.Fprintf(w, "=== %s (%s)\n", e.Title, e.ID); err != nil {
+			return err
+		}
+		if e.Err != "" {
+			if _, err := fmt.Fprintf(w, "ERROR: %s\n\n", e.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", e.Table.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

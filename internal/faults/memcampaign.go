@@ -1,9 +1,12 @@
 package faults
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"rcoe/internal/core"
+	"rcoe/internal/exp"
 	"rcoe/internal/harness"
 )
 
@@ -33,6 +36,11 @@ type MemCampaignOptions struct {
 	Burst int
 	// Seed makes the campaign deterministic.
 	Seed uint64
+	// Context, when set, cancels the campaign between trials.
+	Context context.Context
+	// Workers overrides the engine's host worker-pool size for this
+	// campaign (0 = the process default, normally the host core count).
+	Workers int
 }
 
 // TrialResult captures one trial's classification with its injection
@@ -42,15 +50,33 @@ type TrialResult struct {
 	Injected uint64
 }
 
-// MemCampaign runs the full campaign and tallies outcomes.
+// MemCampaign runs the full campaign on the experiment engine — trials
+// are independent simulated runs, so they fan out across host cores — and
+// tallies outcomes in trial order. Per-trial seeds keep the pre-engine
+// xorshift chain from the campaign seed, so a parallel campaign tallies
+// exactly what the historical serial loop did.
 func MemCampaign(opts MemCampaignOptions) (*Tally, error) {
-	tally := NewTally()
 	r := newRNG(opts.Seed)
-	for trial := 0; trial < opts.Trials; trial++ {
-		res, err := MemTrial(opts, r.next())
-		if err != nil {
-			return nil, err
+	jobs := make([]exp.Job[TrialResult], opts.Trials)
+	for i := range jobs {
+		jobs[i] = exp.Job[TrialResult]{
+			Name: fmt.Sprintf("mem-trial[%d]", i),
+			Seed: r.next(),
+			Run: func(_ context.Context, seed uint64) (TrialResult, error) {
+				return MemTrial(opts, seed)
+			},
 		}
+	}
+	results, err := exp.Run(exp.Options{Workers: opts.Workers, Context: opts.Context}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	trials, err := exp.Values(results)
+	if err != nil {
+		return nil, err
+	}
+	tally := NewTally()
+	for _, res := range trials {
 		tally.Add(res.Outcome, res.Injected)
 	}
 	return tally, nil

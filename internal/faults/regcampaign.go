@@ -2,11 +2,13 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"crypto/md5"
 	"errors"
 	"fmt"
 
 	"rcoe/internal/core"
+	"rcoe/internal/exp"
 	"rcoe/internal/guest"
 	"rcoe/internal/kernel"
 	"rcoe/internal/vmm"
@@ -31,6 +33,11 @@ type RegCampaignOptions struct {
 	Trials int
 	// Seed makes the campaign deterministic.
 	Seed uint64
+	// Context, when set, cancels the campaign between trials.
+	Context context.Context
+	// Workers overrides the engine's host worker-pool size for this
+	// campaign (0 = the process default, normally the host core count).
+	Workers int
 }
 
 // RegTally summarises a register campaign in the paper's Table VIII
@@ -50,18 +57,34 @@ func (t RegTally) Uncontrolled() uint64 { return t.Crashes + t.Corruptions }
 // Controlled returns the detected-error count.
 func (t RegTally) Controlled() uint64 { return t.Timeouts + t.Mismatches }
 
-// RegCampaign runs the full register fault-injection study.
+// RegCampaign runs the full register fault-injection study on the
+// experiment engine: trials fan out across host cores and tally in trial
+// order, with per-trial seeds keeping the pre-engine xorshift chain.
 func RegCampaign(opts RegCampaignOptions) (RegTally, error) {
 	if opts.MessageBytes == 0 {
 		opts.MessageBytes = 4096
 	}
 	r := newRNG(opts.Seed)
-	var tally RegTally
-	for i := 0; i < opts.Trials; i++ {
-		out, err := RegTrial(opts, r.next())
-		if err != nil {
-			return tally, err
+	jobs := make([]exp.Job[Outcome], opts.Trials)
+	for i := range jobs {
+		jobs[i] = exp.Job[Outcome]{
+			Name: fmt.Sprintf("reg-trial[%d]", i),
+			Seed: r.next(),
+			Run: func(_ context.Context, seed uint64) (Outcome, error) {
+				return RegTrial(opts, seed)
+			},
 		}
+	}
+	var tally RegTally
+	results, err := exp.Run(exp.Options{Workers: opts.Workers, Context: opts.Context}, jobs)
+	if err != nil {
+		return tally, err
+	}
+	outcomes, err := exp.Values(results)
+	if err != nil {
+		return tally, err
+	}
+	for _, out := range outcomes {
 		tally.Injected++
 		switch out {
 		case OutcomeUserMemFault, OutcomeOtherUserFault:

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rcoe/internal/exp"
+)
+
+// SoakSweepOptions configures a sweep of independent chaos-soak
+// campaigns. One soak campaign is inherently sequential — its fault
+// cycles share a long-lived TMR service — but campaigns are independent
+// simulated machines, so the sweep layer fans them out across host cores
+// on the experiment engine.
+type SoakSweepOptions struct {
+	// Soak is the per-campaign template. Its Seed is the sweep master
+	// seed: campaign i runs with exp.DeriveSeed(Seed, i), so the sweep is
+	// deterministic at any worker count. Its Log, when set, receives every
+	// campaign's lines prefixed "cNN: " (calls are serialised).
+	Soak SoakOptions
+	// Campaigns is the number of independent campaigns (default 1).
+	Campaigns int
+	// Context, when set, cancels the sweep between campaigns.
+	Context context.Context
+	// Workers overrides the engine's host worker-pool size for this sweep
+	// (0 = the process default, normally the host core count).
+	Workers int
+}
+
+// SoakSweepResult aggregates a sweep. Per-campaign results land by
+// campaign index, never by completion order.
+type SoakSweepResult struct {
+	// Campaigns holds each campaign's full result, indexed by campaign.
+	Campaigns []SoakResult
+	// Seeds records the derived per-campaign seeds.
+	Seeds []uint64
+	// Tally merges every campaign's per-cycle outcome tally.
+	Tally *Tally
+	// Totals over the whole sweep.
+	Ops            uint64
+	Errors         uint64
+	Corruptions    uint64
+	Ejections      uint64
+	Reintegrations uint64
+	// Violations lists broken invariants across all campaigns, each
+	// prefixed with its campaign index (empty on a clean sweep).
+	Violations []string
+}
+
+// Ok reports whether every campaign held its invariants.
+func (r *SoakSweepResult) Ok() bool { return len(r.Violations) == 0 }
+
+// SoakSweep runs Campaigns independent chaos-soak campaigns on the
+// experiment engine and aggregates them. A campaign error does not stop
+// the other campaigns; the lowest-index error is returned after the sweep
+// drains, with every completed campaign's result still in place.
+func SoakSweep(opts SoakSweepOptions) (SoakSweepResult, error) {
+	n := opts.Campaigns
+	if n <= 0 {
+		n = 1
+	}
+	log := newSweepLog(opts.Soak.Log)
+	jobs := make([]exp.Job[SoakResult], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = exp.Job[SoakResult]{
+			Name: fmt.Sprintf("soak[%d]", i),
+			Seed: exp.DeriveSeed(opts.Soak.Seed, i),
+			Run: func(_ context.Context, seed uint64) (SoakResult, error) {
+				campaign := opts.Soak
+				campaign.Seed = seed
+				campaign.Log = log.campaign(i)
+				return Soak(campaign)
+			},
+		}
+	}
+	results, runErr := exp.Run(exp.Options{Workers: opts.Workers, Context: opts.Context}, jobs)
+
+	res := SoakSweepResult{
+		Campaigns: make([]SoakResult, n),
+		Seeds:     make([]uint64, n),
+		Tally:     NewTally(),
+	}
+	for i, r := range results {
+		res.Seeds[i] = r.Seed
+		res.Campaigns[i] = r.Value
+		c := &res.Campaigns[i]
+		if c.Tally != nil {
+			res.Tally.Injected += c.Tally.Injected
+			for o, cnt := range c.Tally.Counts {
+				res.Tally.Counts[o] += cnt
+			}
+		}
+		res.Ops += c.Ops
+		res.Errors += c.Errors
+		res.Corruptions += c.Corruptions
+		res.Ejections += c.Ejections
+		res.Reintegrations += c.Reintegrations
+		for _, v := range c.Violations {
+			res.Violations = append(res.Violations, fmt.Sprintf("campaign %d: %s", i, v))
+		}
+		if r.Err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("campaign %d: error: %v", i, r.Err))
+		}
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	return res, exp.FirstErr(results)
+}
+
+// sweepLog serialises the campaigns' log lines onto one sink with a
+// per-campaign prefix, since campaigns log concurrently from the engine's
+// workers.
+type sweepLog struct {
+	mu   sync.Mutex
+	sink func(string)
+}
+
+func newSweepLog(sink func(string)) *sweepLog {
+	return &sweepLog{sink: sink}
+}
+
+// campaign returns campaign i's log callback (nil when the sweep has no
+// sink).
+func (l *sweepLog) campaign(i int) func(string) {
+	if l.sink == nil {
+		return nil
+	}
+	return func(line string) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.sink(fmt.Sprintf("c%02d: %s", i, line))
+	}
+}

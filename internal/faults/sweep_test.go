@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/exp"
+)
+
+func TestSoakSweepDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) SoakSweepResult {
+		res, err := SoakSweep(SoakSweepOptions{
+			Soak:      SoakOptions{Cycles: 2, Seed: 99},
+			Campaigns: 2,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("sweep (workers=%d): %v (violations: %v)", workers, err, res.Violations)
+		}
+		if !res.Ok() {
+			t.Fatalf("sweep (workers=%d) violated invariants: %v", workers, res.Violations)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(2)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("sweep results depend on worker count:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	if len(serial.Campaigns) != 2 || len(serial.Seeds) != 2 {
+		t.Fatalf("sweep returned %d campaigns, %d seeds", len(serial.Campaigns), len(serial.Seeds))
+	}
+	if serial.Seeds[0] != exp.DeriveSeed(99, 0) || serial.Seeds[1] != exp.DeriveSeed(99, 1) {
+		t.Fatalf("per-campaign seeds not derived from the master: %#x", serial.Seeds)
+	}
+	if serial.Seeds[0] == serial.Seeds[1] {
+		t.Fatal("campaigns share a seed")
+	}
+	// The merged tally must equal the sum of the per-campaign tallies.
+	var cycles int
+	var ops uint64
+	for _, c := range serial.Campaigns {
+		cycles += len(c.Cycles)
+		ops += c.Ops
+	}
+	var tallied uint64
+	for _, n := range serial.Tally.Counts {
+		tallied += n
+	}
+	if int(tallied) != cycles {
+		t.Fatalf("merged tally covers %d cycles, campaigns ran %d", tallied, cycles)
+	}
+	if serial.Ops != ops {
+		t.Fatalf("sweep ops = %d, campaigns total %d", serial.Ops, ops)
+	}
+}
+
+func TestSoakSweepPrefixesLogLines(t *testing.T) {
+	var lines []string
+	_, err := SoakSweep(SoakSweepOptions{
+		Soak: SoakOptions{
+			Cycles: 1,
+			Seed:   7,
+			Log:    func(line string) { lines = append(lines, line) },
+		},
+		Campaigns: 2,
+		Workers:   1,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "c00: ") && !strings.HasPrefix(l, "c01: ") {
+			t.Fatalf("log line missing campaign prefix: %q", l)
+		}
+	}
+}
+
+func TestSoakSweepRecordsCampaignErrors(t *testing.T) {
+	// A DMR template makes every campaign refuse; the sweep must record
+	// the violations and surface the lowest-index error.
+	res, err := SoakSweep(SoakSweepOptions{
+		Soak:      SoakOptions{System: core.Config{Mode: core.ModeLC, Replicas: 2}, Cycles: 1},
+		Campaigns: 2,
+		Workers:   2,
+	})
+	if err == nil {
+		t.Fatal("sweep of refusing campaigns returned nil error")
+	}
+	if res.Ok() || len(res.Violations) != 2 {
+		t.Fatalf("violations = %v, want one per campaign", res.Violations)
+	}
+}

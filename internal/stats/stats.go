@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -143,6 +144,55 @@ func (t *Table) AddRow(cells ...string) {
 		row = append(row, "")
 	}
 	t.rows = append(t.rows, row)
+}
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// Rows returns a copy of the rows (each row already padded to the header
+// width by AddRow).
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return rows
+}
+
+// tableJSON is the stable wire form of a Table: title, headers, rows.
+// Cells are strings exactly as rendered, so the JSON carries the same
+// values the text tables show and is byte-reproducible run to run.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table as {title, headers, rows}. Nil slices
+// are normalised to empty ones so the encoding never depends on whether
+// a table happened to receive rows.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	w := tableJSON{Title: t.title, Headers: t.headers, Rows: t.rows}
+	if w.Headers == nil {
+		w.Headers = []string{}
+	}
+	if w.Rows == nil {
+		w.Rows = [][]string{}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the form written by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	t.title, t.headers, t.rows = w.Title, w.Headers, w.Rows
+	return nil
 }
 
 // String renders the table with space-aligned columns.

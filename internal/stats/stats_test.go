@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -129,5 +130,46 @@ func TestValuesIsCopy(t *testing.T) {
 	vals[0] = 99
 	if s.Mean() != 1 {
 		t.Fatalf("Values() aliases internal slice")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("only") // padded by AddRow
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"T","headers":["a","b"],"rows":[["1","2"],["only",""]]}`
+	if string(data) != want {
+		t.Fatalf("marshal = %s, want %s", data, want)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tbl.String() {
+		t.Fatalf("round trip changed rendering:\n%s\nvs\n%s", back.String(), tbl.String())
+	}
+}
+
+func TestTableJSONEmptyNormalised(t *testing.T) {
+	data, err := json.Marshal(NewTable("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"title":"empty","headers":[],"rows":[]}` {
+		t.Fatalf("empty table marshal = %s", data)
+	}
+}
+
+func TestTableAccessorsCopy(t *testing.T) {
+	tbl := NewTable("T", "a")
+	tbl.AddRow("x")
+	tbl.Headers()[0] = "mutated"
+	tbl.Rows()[0][0] = "mutated"
+	if tbl.Headers()[0] != "a" || tbl.Rows()[0][0] != "x" {
+		t.Fatal("accessors alias internal slices")
 	}
 }

@@ -1,0 +1,134 @@
+package rcoe_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rcoe"
+	"rcoe/internal/bench"
+	"rcoe/internal/core"
+	"rcoe/internal/faults"
+	"rcoe/internal/harness"
+	"rcoe/internal/workload"
+)
+
+// These differential tests are the parallel-determinism contract of the
+// experiment engine: the host worker count is a throughput knob only, so
+// every campaign must emit byte-identical result artifacts at -parallel=1
+// and -parallel=N. Results land by job index, seeds derive from the
+// campaign master, and artifacts carry no host timings; any diff here
+// means completion order leaked into a result.
+
+// withWorkers runs f under a temporary engine default worker count,
+// restoring the host-core default afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	rcoe.SetParallelism(n)
+	defer rcoe.SetParallelism(0)
+	f()
+}
+
+// TestParallelDeterminismExperiments renders every registered experiment
+// at Quick scale serially and with an oversubscribed worker pool and
+// requires byte-identical JSON artifacts.
+func TestParallelDeterminismExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is seconds-long; skipped with -short")
+	}
+	render := func(workers int) []byte {
+		var data []byte
+		withWorkers(t, workers, func() {
+			report := bench.BuildReport(bench.Quick, bench.All(), nil)
+			if n := report.Failed(); n != 0 {
+				t.Fatalf("workers=%d: %d experiments failed: %+v",
+					workers, n, report.Experiments)
+			}
+			var err error
+			data, err = report.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return data
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		d1, d2 := firstDiffLine(serial, parallel)
+		t.Fatalf("suite artifact differs between 1 and 8 workers:\nserial:   %s\nparallel: %s",
+			d1, d2)
+	}
+}
+
+// firstDiffLine locates the first differing line of two artifacts, so a
+// determinism break reports the responsible table row instead of a blob.
+func firstDiffLine(a, b []byte) (string, string) {
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return string(la[i]), string(lb[i])
+		}
+	}
+	return "<prefix equal>", "<lengths differ>"
+}
+
+// TestParallelDeterminismMemCampaign pins the memory fault campaign: the
+// historical per-trial seed chain must tally identically at any worker
+// count (EXPERIMENTS.md quotes those numbers).
+func TestParallelDeterminismMemCampaign(t *testing.T) {
+	run := func(workers int) *faults.Tally {
+		var tally *faults.Tally
+		withWorkers(t, workers, func() {
+			var err error
+			tally, err = rcoe.MemCampaign(rcoe.MemCampaignOptions{
+				KV: harness.KVOptions{
+					System: core.Config{
+						Mode: core.ModeLC, Replicas: 2, TickCycles: 50_000,
+					},
+					Workload: workload.YCSBA, Records: 32, Operations: 120,
+					TraceOutput: true,
+				},
+				Trials: 6, FlipEveryCycles: 900, MaxFlips: 6_000,
+				IncludeDMA: true, Seed: 5,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		return tally
+	}
+	serial, parallel := run(1), run(8)
+	if serial.Injected != parallel.Injected {
+		t.Fatalf("injected flips differ: %d vs %d", serial.Injected, parallel.Injected)
+	}
+	for o, n := range serial.Counts {
+		if parallel.Counts[o] != n {
+			t.Fatalf("outcome %v: %d serial vs %d parallel", o, n, parallel.Counts[o])
+		}
+	}
+	if len(serial.Counts) != len(parallel.Counts) {
+		t.Fatalf("outcome sets differ: %v vs %v", serial.Counts, parallel.Counts)
+	}
+}
+
+// TestParallelDeterminismRegCampaign pins the register fault campaign the
+// same way.
+func TestParallelDeterminismRegCampaign(t *testing.T) {
+	run := func(workers int) faults.RegTally {
+		var tally faults.RegTally
+		withWorkers(t, workers, func() {
+			var err error
+			tally, err = rcoe.RegCampaign(rcoe.RegCampaignOptions{
+				System:       core.Config{Mode: core.ModeCC, Replicas: 2},
+				MessageBytes: 4096, Trials: 6, Seed: 17,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		return tally
+	}
+	if serial, parallel := run(1), run(8); serial != parallel {
+		t.Fatalf("register tallies differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"rcoe/internal/bench"
 	"rcoe/internal/compilerpass"
 	"rcoe/internal/core"
+	"rcoe/internal/exp"
 	"rcoe/internal/faults"
 	"rcoe/internal/guest"
 	"rcoe/internal/harness"
@@ -223,6 +224,11 @@ type (
 	SoakResult = faults.SoakResult
 	// SoakCycleReport reports one chaos-soak fault cycle.
 	SoakCycleReport = faults.SoakCycle
+	// SoakSweepOptions configures a sweep of independent soak campaigns
+	// fanned across host cores.
+	SoakSweepOptions = faults.SoakSweepOptions
+	// SoakSweepResult aggregates a soak sweep, ordered by campaign index.
+	SoakSweepResult = faults.SoakSweepResult
 )
 
 // Resilience-lifecycle sentinels, composable with errors.Is.
@@ -293,6 +299,13 @@ func RecoveryTrial(opts RecoveryOptions) (faults.RecoveryResult, error) {
 // re-integration after every downgrade.
 func Soak(opts SoakOptions) (SoakResult, error) { return faults.Soak(opts) }
 
+// SoakSweep fans independent chaos-soak campaigns across host cores on
+// the experiment engine and aggregates them; per-campaign seeds derive
+// from the template's seed, so results are identical at any worker count.
+func SoakSweep(opts SoakSweepOptions) (SoakSweepResult, error) {
+	return faults.SoakSweep(opts)
+}
+
 // Experiments: the paper's tables and figures.
 type (
 	// Experiment is one reproducible table/figure.
@@ -311,6 +324,20 @@ const (
 
 // Experiments returns every experiment in paper order.
 func Experiments() []Experiment { return bench.All() }
+
+// SetParallelism sets the experiment engine's host worker-pool size used
+// by experiments, fault campaigns and soak sweeps (n < 1 restores the
+// default, the host core count). Worker count is a host-side throughput
+// knob only: campaigns produce identical results at any setting.
+func SetParallelism(n int) { exp.SetDefaultWorkers(n) }
+
+// Parallelism returns the engine's current host worker-pool size.
+func Parallelism() int { return exp.DefaultWorkers() }
+
+// DeriveSeed mixes a campaign master seed and a job index into a
+// statistically independent, reproducible per-job seed (the engine's
+// splitmix64 derivation).
+func DeriveSeed(master uint64, index int) uint64 { return exp.DeriveSeed(master, index) }
 
 // RunExperiment runs one experiment by ID ("table2", "fig3", ...).
 func RunExperiment(id string, s Scale) (*Table, error) {
