@@ -3,7 +3,8 @@
 // Usage:
 //
 //	rcoe-bench [-scale quick|full] [-parallel N] [-json] [-out FILE]
-//	           [-list] [-no-fastforward] [experiment ...]
+//	           [-list] [-no-fastforward] [-no-execcache]
+//	           [-cpuprofile FILE] [-memprofile FILE] [experiment ...]
 //
 // With no experiment IDs it runs everything in paper order. Each
 // experiment prints the same rows/series the paper reports; absolute
@@ -23,12 +24,20 @@
 // every cycle naively. Results are bit-identical either way (the
 // determinism contract); the flag exists so CI can cross-check the two
 // modes and so suspected fast-forward drift can be debugged in the field.
+// -no-execcache likewise disables the host-side execution cache
+// (predecoded instructions + translation memos) under the same
+// bit-identical contract.
+//
+// -cpuprofile/-memprofile write pprof profiles of the run (see
+// "Profiling the simulator" in EXPERIMENTS.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rcoe/internal/bench"
@@ -47,12 +56,46 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit an rcoe-bench/v1 JSON report instead of text tables")
 	outFile := flag.String("out", "", "write the artifact to FILE (progress goes to stderr)")
 	noFF := flag.Bool("no-fastforward", false, "step every cycle naively instead of fast-forwarding idle windows")
+	noEC := flag.Bool("no-execcache", false, "disable the host-side execution cache (predecode + translation memos)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	flag.Parse()
 
 	if *noFF {
 		machine.SetDefaultFastForward(false)
 	}
+	if *noEC {
+		machine.SetDefaultExecCache(false)
+	}
 	exp.SetDefaultWorkers(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rcoe-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rcoe-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rcoe-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -12,12 +12,27 @@ import (
 	"rcoe/internal/workload"
 )
 
-// These differential tests are the fast-forward determinism contract: for
-// every tier-1 scenario, a run with the event-driven idle skip enabled
-// must be bit-identical — final machine cycle, per-core counters and
-// registers, kernel signatures, detections, stats, metrics — to the same
-// run stepped naively cycle by cycle. Any drift here means fast-forward
-// jumped over something the naive loop would have observed.
+// These differential tests are the host-optimisation determinism
+// contract: for every tier-1 scenario, a run with the event-driven idle
+// skip and/or the execution cache (predecoded instructions + translation
+// memos) enabled must be bit-identical — final machine cycle, per-core
+// counters and registers, kernel signatures, detections, stats, metrics —
+// to the same run stepped naively cycle by cycle with every cache off.
+// Any drift means an optimisation skipped or memoised something the naive
+// loop would have observed differently.
+
+// hostVariants enumerates the host-optimisation combinations each
+// scenario runs under. The first entry is the baseline everything-on
+// configuration the others are compared against.
+var hostVariants = []struct {
+	name       string
+	noFF, noEC bool
+}{
+	{"all-on", false, false},
+	{"no-fastforward", true, false},
+	{"no-execcache", false, true},
+	{"naive", true, true},
+}
 
 // systemFingerprint renders everything observable about a finished system
 // into a canonical string, so differences show up as a readable diff.
@@ -85,32 +100,37 @@ func TestDeterminismTable2Kernels(t *testing.T) {
 	for _, p := range programs {
 		for _, c := range configs {
 			t.Run(p.name+"/"+c.name, func(t *testing.T) {
-				run := func(disableFF bool) string {
+				run := func(noFF, noEC bool) string {
 					cfg := c.cfg
-					cfg.DisableFastForward = disableFF
+					cfg.DisableFastForward = noFF
+					cfg.DisableExecCache = noEC
 					sys, err := rcoe.BuildSystem(cfg, p.prog)
 					if err != nil {
 						t.Fatal(err)
 					}
 					if err := sys.Run(500_000_000); err != nil {
-						t.Fatalf("run (ffDisabled=%v): %v", disableFF, err)
+						t.Fatalf("run (noFF=%v noEC=%v): %v", noFF, noEC, err)
 					}
 					return systemFingerprint(sys)
 				}
-				assertIdentical(t, p.name+"/"+c.name, run(false), run(true))
+				base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+				for _, v := range hostVariants[1:] {
+					assertIdentical(t, p.name+"/"+c.name+"/"+v.name, base, run(v.noFF, v.noEC))
+				}
 			})
 		}
 	}
 }
 
 func TestDeterminismKVUnderYCSB(t *testing.T) {
-	run := func(disableFF bool) (harness.KVResult, string) {
+	run := func(noFF, noEC bool) (harness.KVResult, string) {
 		opts := harness.KVOptions{
 			System: rcoe.Config{
 				Mode:               rcoe.ModeLC,
 				Replicas:           3,
 				TickCycles:         50_000,
-				DisableFastForward: disableFF,
+				DisableFastForward: noFF,
+				DisableExecCache:   noEC,
 				Trace:              rcoe.TraceConfig{Enabled: true},
 			},
 			Workload:   workload.YCSBA,
@@ -124,27 +144,30 @@ func TestDeterminismKVUnderYCSB(t *testing.T) {
 		}
 		res, err := kv.Run()
 		if err != nil {
-			t.Fatalf("kv run (ffDisabled=%v): %v", disableFF, err)
+			t.Fatalf("kv run (noFF=%v noEC=%v): %v", noFF, noEC, err)
 		}
 		return res, systemFingerprint(kv.Sys)
 	}
-	fastRes, fastFP := run(false)
-	slowRes, slowFP := run(true)
-	assertIdentical(t, "kv-ycsba", fastFP, slowFP)
-	if !reflect.DeepEqual(fastRes, slowRes) {
-		t.Fatalf("KV results diverged:\nfast:  %+v\nnaive: %+v", fastRes, slowRes)
+	baseRes, baseFP := run(hostVariants[0].noFF, hostVariants[0].noEC)
+	for _, v := range hostVariants[1:] {
+		res, fp := run(v.noFF, v.noEC)
+		assertIdentical(t, "kv-ycsba/"+v.name, baseFP, fp)
+		if !reflect.DeepEqual(baseRes, res) {
+			t.Fatalf("KV results diverged (%s):\nbase: %+v\ngot:  %+v", v.name, baseRes, res)
+		}
 	}
 }
 
 func TestDeterminismMaskingDowngrade(t *testing.T) {
-	run := func(disableFF bool) string {
+	run := func(noFF, noEC bool) string {
 		cfg := rcoe.Config{
 			Mode:               rcoe.ModeLC,
 			Replicas:           3,
 			Masking:            true,
 			TickCycles:         20_000,
 			BarrierTimeout:     200_000,
-			DisableFastForward: disableFF,
+			DisableFastForward: noFF,
+			DisableExecCache:   noEC,
 		}
 		sys, err := rcoe.BuildSystem(cfg, rcoe.Dhrystone(20_000))
 		if err != nil {
@@ -153,35 +176,97 @@ func TestDeterminismMaskingDowngrade(t *testing.T) {
 		sys.RunCycles(50_000)
 		sys.InjectStall(2)
 		if err := sys.Run(500_000_000); err != nil {
-			t.Fatalf("run (ffDisabled=%v): %v", disableFF, err)
+			t.Fatalf("run (noFF=%v noEC=%v): %v", noFF, noEC, err)
 		}
 		if len(sys.Detections()) == 0 {
-			t.Fatalf("stall produced no detection (ffDisabled=%v)", disableFF)
+			t.Fatalf("stall produced no detection (noFF=%v noEC=%v)", noFF, noEC)
 		}
 		return systemFingerprint(sys)
 	}
-	assertIdentical(t, "masking-downgrade", run(false), run(true))
+	base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+	for _, v := range hostVariants[1:] {
+		assertIdentical(t, "masking-downgrade/"+v.name, base, run(v.noFF, v.noEC))
+	}
 }
 
 func TestDeterminismSoakCycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("naive-mode soak is slow")
 	}
-	run := func(disableFF bool) faults.SoakResult {
+	run := func(noFF, noEC bool) faults.SoakResult {
 		res, err := rcoe.Soak(rcoe.SoakOptions{
-			System: rcoe.Config{DisableFastForward: disableFF},
+			System: rcoe.Config{DisableFastForward: noFF, DisableExecCache: noEC},
 			Cycles: 2,
 			Seed:   5,
 		})
 		if err != nil {
-			t.Fatalf("soak (ffDisabled=%v): %v", disableFF, err)
+			t.Fatalf("soak (noFF=%v noEC=%v): %v", noFF, noEC, err)
 		}
 		return res
 	}
-	fast, slow := run(false), run(true)
-	if !reflect.DeepEqual(fast, slow) {
-		t.Fatalf("soak campaigns diverged:\nfast:  cycles=%+v windows=%v ops=%d violations=%v\nnaive: cycles=%+v windows=%v ops=%d violations=%v",
-			fast.Cycles, fast.Windows, fast.Ops, fast.Violations,
-			slow.Cycles, slow.Windows, slow.Ops, slow.Violations)
+	base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+	for _, v := range hostVariants[1:] {
+		got := run(v.noFF, v.noEC)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("soak campaigns diverged (%s):\nbase: cycles=%+v windows=%v ops=%d violations=%v\ngot:  cycles=%+v windows=%v ops=%d violations=%v",
+				v.name, base.Cycles, base.Windows, base.Ops, base.Violations,
+				got.Cycles, got.Windows, got.Ops, got.Violations)
+		}
+	}
+}
+
+// TestDeterminismFaultCampaigns runs shortened versions of the Table VII
+// memory and Table VIII register fault-injection studies with the
+// execution cache on and off. Fault injection exercises the invalidation
+// protocol hardest — bit-flips land in live instruction bytes — so the
+// tallies must be byte-identical across modes.
+func TestDeterminismFaultCampaigns(t *testing.T) {
+	memRun := func(noEC bool) *faults.Tally {
+		tally, err := rcoe.MemCampaign(rcoe.MemCampaignOptions{
+			KV: harness.KVOptions{
+				System: rcoe.Config{
+					Mode:             rcoe.ModeLC,
+					Replicas:         3,
+					TickCycles:       50_000,
+					DisableExecCache: noEC,
+				},
+				Workload:   workload.YCSBA,
+				Records:    20,
+				Operations: 40,
+				Seed:       7,
+			},
+			Trials:          6,
+			FlipEveryCycles: 40_000,
+			MaxFlips:        40,
+			Seed:            21,
+		})
+		if err != nil {
+			t.Fatalf("mem campaign (noEC=%v): %v", noEC, err)
+		}
+		return tally
+	}
+	if base, got := memRun(false), memRun(true); !reflect.DeepEqual(base, got) {
+		t.Fatalf("mem campaign tallies diverged:\ncached: %+v\nnaive:  %+v", base, got)
+	}
+
+	regRun := func(noEC bool) faults.RegTally {
+		tally, err := rcoe.RegCampaign(rcoe.RegCampaignOptions{
+			System: rcoe.Config{
+				Mode:             rcoe.ModeCC,
+				Replicas:         2,
+				TickCycles:       50_000,
+				DisableExecCache: noEC,
+			},
+			MessageBytes: 512,
+			Trials:       6,
+			Seed:         33,
+		})
+		if err != nil {
+			t.Fatalf("reg campaign (noEC=%v): %v", noEC, err)
+		}
+		return tally
+	}
+	if base, got := regRun(false), regRun(true); !reflect.DeepEqual(base, got) {
+		t.Fatalf("reg campaign tallies diverged:\ncached: %+v\nnaive:  %+v", base, got)
 	}
 }

@@ -10,6 +10,8 @@
 // signatures.
 package checksum
 
+import "encoding/binary"
+
 // fletcherMod is the largest prime below 2^32, used to reduce the two
 // running sums. Working modulo a prime (rather than 2^32-1 as in the
 // textbook Fletcher-64) keeps the sums well mixed under long runs of
@@ -85,7 +87,5 @@ func Sum64(words []uint64) uint64 {
 }
 
 func le64(b []byte) uint64 {
-	_ = b[7]
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return binary.LittleEndian.Uint64(b)
 }

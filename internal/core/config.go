@@ -134,6 +134,12 @@ type Config struct {
 	// tests enforce it); the naive loop exists for those tests and for
 	// debugging suspected fast-forward drift.
 	DisableFastForward bool
+	// DisableExecCache turns off the machine's host-side execution cache
+	// (predecoded instructions and translation memos) for this system,
+	// forcing the naive fetch/translate/decode path. As with
+	// DisableFastForward, the two modes are bit-identical by contract,
+	// enforced by the differential determinism tests.
+	DisableExecCache bool
 	// TraceSeed perturbs nothing functional; it seeds workload-level
 	// randomness so repeated runs differ deterministically.
 	TraceSeed uint64

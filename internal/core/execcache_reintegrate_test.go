@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcoe/internal/kernel"
+)
+
+// TestReintegrateTextRestoreExecCacheDifferential is the post-reintegration
+// text-divergence regression for the execution cache: the ejected
+// replica's text is corrupted while it is offline (its cores predecoded
+// that text before ejection), then re-integration copies the donor's
+// partition back over it. A stale predecode entry surviving the partition
+// copy would execute the corrupted (or pre-corruption) instructions; the
+// run must instead complete identically with the cache on and off, with
+// every replica exiting cleanly from the restored text.
+func TestReintegrateTextRestoreExecCacheDifferential(t *testing.T) {
+	run := func(noEC bool) string {
+		sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
+			Sig: SigArgs, Masking: true, DisableExecCache: noEC}, syscallLoop(t, 60_000))
+		sys.RunCycles(50_000)
+		lay := sys.Replica(2).K.Layout()
+		if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Machine().RunUntil(func() bool {
+			return sys.AliveCount() == 2 || sys.halted
+		}, 400_000_000); err != nil {
+			t.Fatalf("downgrade never happened (noEC=%v): %v", noEC, err)
+		}
+		if sys.halted {
+			t.Fatalf("system halted instead of masking (noEC=%v): %s", noEC, sys.haltReason)
+		}
+		// Corrupt the dead replica's first text instruction in place. The
+		// partition copy during re-integration must overwrite this — and
+		// invalidate any predecoded copy of the original.
+		pa, _, ok := sys.Replica(2).Core().AS.Translate(kernel.TextVA, 8, 0)
+		if !ok {
+			t.Fatalf("text VA unmapped on ejected replica (noEC=%v)", noEC)
+		}
+		for bit := uint(0); bit < 8; bit++ {
+			if err := sys.Machine().Mem().FlipBit(pa, bit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Reintegrate(2); err != nil {
+			t.Fatalf("reintegrate (noEC=%v): %v", noEC, err)
+		}
+		mustFinish(t, sys, 2_000_000_000)
+		for rid := 0; rid < 3; rid++ {
+			if got := sys.Replica(rid).K.Thread(0).ExitCode; got != 0 {
+				t.Fatalf("replica %d exit = %d (noEC=%v)", rid, got, noEC)
+			}
+		}
+		// Render the observable outcome for the differential comparison.
+		out := fmt.Sprintf("now=%d stats=%+v detections=%d\n",
+			sys.Machine().Now(), sys.Stats(), len(sys.Detections()))
+		for rid := 0; rid < 3; rid++ {
+			ev, sum := sys.Replica(rid).K.Signature()
+			c := sys.Replica(rid).Core()
+			out += fmt.Sprintf("r%d cycles=%d instr=%d sig=(%d,%#x)\n",
+				rid, c.Cycles, c.Instructions, ev, sum)
+		}
+		return out
+	}
+	cached, naive := run(false), run(true)
+	if !reflect.DeepEqual(cached, naive) {
+		t.Fatalf("post-reintegration runs diverged:\ncached:\n%s\nnaive:\n%s", cached, naive)
+	}
+}

@@ -147,6 +147,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.DisableFastForward {
 		m.SetFastForward(false)
 	}
+	if cfg.DisableExecCache {
+		m.SetExecCache(false)
+	}
 	sys := &System{
 		cfg: cfg,
 		m:   m,
@@ -194,16 +197,27 @@ func NewSystem(cfg Config) (*System, error) {
 // replica-wide preemption at an agreed logical time.
 type preemptionTimer struct {
 	period uint64
+	// next caches the earliest cycle >= the last observed Now() that is a
+	// multiple of period, so the per-cycle check is one compare instead of
+	// a 64-bit division. Ticks may be sparse (idle fast-forward skips
+	// quiescent windows), so next is re-derived whenever Now() reaches it.
+	next uint64
 }
 
 // TimerLine is the interrupt line of the preemption timer.
 const TimerLine = 0
 
-// Tick implements machine.Device.
+// Tick implements machine.Device. Fires exactly when Now() is a multiple
+// of the period, same as the obvious Now()%period == 0 check.
 func (t *preemptionTimer) Tick(m *machine.Machine) {
-	if m.Now()%t.period == 0 {
+	now := m.Now()
+	if now < t.next {
+		return
+	}
+	if now%t.period == 0 {
 		m.RaiseIRQ(TimerLine)
 	}
+	t.next = now - now%t.period + t.period
 }
 
 // NextEvent implements machine.EventSource: the timer only acts on exact

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"rcoe/internal/checksum"
@@ -454,9 +455,7 @@ func (k *Kernel) WriteUserU(va uint64, size int, v uint64) error {
 }
 
 func le64(b []byte) uint64 {
-	_ = b[7]
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return binary.LittleEndian.Uint64(b)
 }
 
 // CloneFrom copies the donor kernel's scheduling state onto k — thread

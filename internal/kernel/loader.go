@@ -79,9 +79,10 @@ func StackTopFor(i int) uint64 {
 }
 
 // MapSegment appends a mapping to the user address space (used for the
-// cross-replica shared region, device MMIO, and DMA windows).
+// cross-replica shared region, device MMIO, and DMA windows). It goes
+// through AddrSpace.Map so the cores' translation memos see the change.
 func (k *Kernel) MapSegment(s machine.Segment) {
-	k.as.Segs = append(k.as.Segs, s)
+	k.as.Map(s)
 }
 
 // HasMapping reports whether a virtual address is already mapped.

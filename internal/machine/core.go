@@ -31,8 +31,52 @@ type Segment struct {
 }
 
 // AddrSpace is an ordered set of segments forming a virtual address space.
+//
+// Segs may be read freely. Code that mutates it after the address space is
+// in use must do so through Map, or call Invalidate afterwards: the
+// per-core translation memos (execcache.go) key on the generation counter
+// those bump. Constructing a fresh AddrSpace (the kernel loader and
+// re-integration clone paths) needs nothing — memos key on pointer
+// identity, so a new object always misses.
 type AddrSpace struct {
 	Segs []Segment
+
+	// gen counts mutations; translation memos holding an older generation
+	// re-scan. Appends through Map bump it, as does Invalidate.
+	gen uint64
+}
+
+// Map appends a segment mapping and invalidates translation memos built
+// over the previous segment set.
+func (a *AddrSpace) Map(s Segment) {
+	a.Segs = append(a.Segs, s)
+	a.gen++
+}
+
+// Invalidate marks the address space mutated, forcing every translation
+// memo built on it to re-scan. Call it after any direct edit of Segs.
+func (a *AddrSpace) Invalidate() { a.gen++ }
+
+// overlapFree reports whether every pair of segments covers disjoint
+// virtual ranges. Translate returns the first match in segment order, so
+// the translation memo may only short-circuit the scan when no virtual
+// address can match two segments; an overlapping (or wrapping) layout
+// disables memoisation and always scans. Zero-size segments match nothing
+// but are treated conservatively.
+func (a *AddrSpace) overlapFree() bool {
+	for i := range a.Segs {
+		si := &a.Segs[i]
+		if si.VBase+si.Size < si.VBase {
+			return false // wrapping range: be conservative
+		}
+		for j := i + 1; j < len(a.Segs); j++ {
+			sj := &a.Segs[j]
+			if si.VBase < sj.VBase+sj.Size && sj.VBase < si.VBase+si.Size {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Translate resolves va for an access of n bytes with the needed
@@ -184,6 +228,11 @@ type Core struct {
 
 	cache *cache
 
+	// ec is the host-side execution cache (predecoded instructions plus
+	// translation memos). Allocated lazily on the first cached fetch; nil
+	// while the core has never executed with caching enabled.
+	ec *execCache
+
 	m *Machine
 }
 
@@ -294,6 +343,33 @@ func (c *Core) setReg(i uint8, v uint64) {
 // which case the caller retries next cycle. Scalar misses pay the
 // MemMiss latency; streaming block ops use streamAccess instead.
 func (c *Core) memAccess(pa uint64, size int, write bool) bool {
+	ch := c.cache
+	line := pa >> ch.lineShift
+	if (pa+uint64(size)-1)>>ch.lineShift == line {
+		// Single-line access — every scalar fetch/load/store in practice.
+		// One probe replaces the peek-then-access double scan, with
+		// identical cache state, bus traffic, and stalls.
+		idx := ch.index(line)
+		if ch.valid[idx] && ch.tags[idx] == line {
+			if write {
+				ch.dirty[idx] = true
+			}
+			c.AddStall(c.m.prof.Costs.MemHit - 1)
+			return true
+		}
+		bytes := c.m.prof.CacheLine
+		if ch.valid[idx] && ch.dirty[idx] {
+			bytes *= 2 // dirty eviction: writeback + fill
+		}
+		if !c.m.bus.take(bytes) {
+			return false
+		}
+		ch.tags[idx] = line
+		ch.valid[idx] = true
+		ch.dirty[idx] = write
+		c.AddStall(c.m.prof.Costs.MemMiss)
+		return true
+	}
 	misses, evict := c.cache.peek(pa, size)
 	if misses == 0 && evict == 0 {
 		c.cache.access(pa, size, write)

@@ -77,10 +77,24 @@ type Machine struct {
 	// perturb machine state.
 	OnIRQRoute func(line, coreID int)
 
+	// mmioLo/mmioHi bound the union of all MMIO windows so the hot data
+	// path can reject non-device addresses with two compares instead of a
+	// window scan. mmioLo > mmioHi means no windows are mapped.
+	mmioLo, mmioHi uint64
+
 	now uint64
+	// rr caches now % len(cores) — the round-robin service origin for the
+	// current cycle — maintained incrementally so the per-cycle Step loop
+	// avoids a 64-bit division. skipIdle re-derives it after a time jump.
+	rr int
 
 	// fastForward enables the event-driven idle skip in Run/RunUntil.
 	fastForward bool
+	// execCache enables the host-side predecoded instruction cache and
+	// translation memos (execcache.go). Provably invisible to simulated
+	// state; the differential determinism suite compares fingerprints
+	// with it on and off.
+	execCache bool
 	// stepIdle reports whether the most recent Step was fully idle: no
 	// core reached an issue opportunity and no parked core woke. Only
 	// after such a Step may fast-forward engage, which guarantees every
@@ -99,6 +113,15 @@ var defaultFastForward = true
 // idle cycles (default true).
 func SetDefaultFastForward(on bool) { defaultFastForward = on }
 
+// defaultExecCache seeds Machine.execCache in New, mirroring the
+// fast-forward default so command-line tools (-no-execcache) can flip it
+// before systems are built.
+var defaultExecCache = true
+
+// SetDefaultExecCache sets whether newly created machines use the
+// execution cache (default true).
+func SetDefaultExecCache(on bool) { defaultExecCache = on }
+
 // New creates a machine with the given profile and physical memory size.
 // The trap handler (the kernel) must be set with SetHandler before Run.
 func New(prof Profile, memBytes int) *Machine {
@@ -107,6 +130,8 @@ func New(prof Profile, memBytes int) *Machine {
 		mem:         NewMem(memBytes),
 		bus:         newBus(prof.BusBytesPerCycle),
 		fastForward: defaultFastForward,
+		execCache:   defaultExecCache,
+		mmioLo:      ^uint64(0), // empty until MapMMIO
 	}
 	for i := 0; i < prof.Cores; i++ {
 		c := &Core{
@@ -153,6 +178,12 @@ func (m *Machine) StartCore(id int, pc uint64, as *AddrSpace) {
 // (conventionally above RAM).
 func (m *Machine) MapMMIO(base, size uint64, dev MMIOHandler) {
 	m.windows = append(m.windows, mmioWindow{base: base, size: size, dev: dev})
+	if base < m.mmioLo {
+		m.mmioLo = base
+	}
+	if base+size-1 > m.mmioHi {
+		m.mmioHi = base + size - 1
+	}
 }
 
 // AddDevice registers a device for per-cycle ticking.
@@ -187,6 +218,11 @@ func (m *Machine) SendIPI(to int) {
 }
 
 func (m *Machine) mmioAt(pa uint64) (MMIOHandler, bool) {
+	// Fast reject: on the data hot path nearly every access is RAM, well
+	// below the device windows.
+	if pa < m.mmioLo || pa > m.mmioHi {
+		return nil, false
+	}
 	for _, w := range m.windows {
 		if pa >= w.base && pa < w.base+w.size {
 			return w.dev, true
@@ -219,15 +255,25 @@ func (m *Machine) PhysWriteU(pa uint64, size int, v uint64) error {
 // skew otherwise-identical replicas apart.
 func (m *Machine) Step() {
 	m.now++
+	n := len(m.cores)
+	if m.rr++; m.rr >= n {
+		m.rr = 0
+	}
 	m.bus.tick()
 	for _, d := range m.devices {
 		d.Tick(m)
 	}
-	n := len(m.cores)
-	first := int(m.now % uint64(n))
 	m.stepIdle = true
-	for i := 0; i < n; i++ {
-		m.advance(m.cores[(first+i)%n])
+	for i, idx := 0, m.rr; i < n; i++ {
+		c := m.cores[idx]
+		// Halted and offline cores are no-ops in advance; skipping them
+		// here keeps the per-cycle loop tight on partially-idle machines.
+		if c.State != CoreHalted && c.State != CoreOffline {
+			m.advance(c)
+		}
+		if idx++; idx == n {
+			idx = 0
+		}
 	}
 }
 
@@ -237,6 +283,14 @@ func (m *Machine) SetFastForward(on bool) { m.fastForward = on }
 
 // FastForward reports whether the idle skip is enabled.
 func (m *Machine) FastForward() bool { return m.fastForward }
+
+// SetExecCache enables or disables the execution cache for this machine.
+// Safe to flip at any point: the caches validate against mutation
+// generations, never against "the cache was on the whole time".
+func (m *Machine) SetExecCache(on bool) { m.execCache = on }
+
+// ExecCacheEnabled reports whether the execution cache is enabled.
+func (m *Machine) ExecCacheEnabled() bool { return m.execCache }
 
 // FastForwarded returns the total cycles bulk-charged by the idle skip
 // instead of being stepped naively.
@@ -345,6 +399,7 @@ func (m *Machine) skipIdle(limit uint64) uint64 {
 		return 0
 	}
 	m.now += k
+	m.rr = int(m.now % uint64(len(m.cores)))
 	m.bus.skip(k)
 	for _, c := range m.cores {
 		if c.State != CoreParked && c.State != CoreRunning {
@@ -447,22 +502,33 @@ func (m *Machine) trap(c *Core, t Trap) {
 // execOne fetches, decodes and executes one instruction on c. Bus
 // exhaustion leaves the core at the same PC to retry next cycle.
 func (m *Machine) execOne(c *Core) {
-	pa, _, ok := c.AS.Translate(c.PC, isa.InstrBytes, PermX)
-	if !ok {
-		m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
-		return
+	var ins isa.Instr
+	// Predecode-cache hit fast path, open-coded to spare the fetch call
+	// frame on the ~100% case. Identical to the hit branch inside fetch;
+	// any other case (miss, cache disabled, first fetch) falls through to
+	// fetch, which re-derives it from scratch.
+	var ent *icacheEntry
+	if ec := c.ec; m.execCache && ec != nil {
+		ent = ec.fetchHit(c.PC, c.AS, m.mem)
 	}
-	if !c.memAccess(pa, isa.InstrBytes, false) {
-		return // bus stall on fetch
+	if ent != nil {
+		c.ec.decodeHits++
+		if !c.memAccess(ent.pa, isa.InstrBytes, false) {
+			return // bus stall on fetch
+		}
+		ins = ent.ins
+	} else {
+		var ok bool
+		if ins, ok = m.fetch(c); !ok {
+			return // trap taken or bus stall on fetch
+		}
 	}
-	raw, err := m.mem.Read(pa, isa.InstrBytes)
-	if err != nil {
-		m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
-		return
-	}
-	ins, err := isa.Decode(raw)
-	if err != nil {
-		m.trap(c, Trap{Kind: TrapIllegal, Addr: c.PC, PC: c.PC})
+	// Fast tail for the common case: no debug feature armed on this core,
+	// so the instruction either retires or retries — nothing to observe.
+	if !c.BP.Enabled && !c.BranchWatch.Enabled && !c.SingleStep {
+		if m.exec(c, ins) {
+			c.Instructions++
+		}
 		return
 	}
 	atBP := c.BP.Enabled && c.PC == c.BP.Addr
@@ -491,6 +557,81 @@ func (m *Machine) execOne(c *Core) {
 		c.SingleStep = false
 		m.trap(c, Trap{Kind: TrapSingleStep, PC: c.PC})
 	}
+}
+
+// fetch resolves PC, charges the fetch through the cost model, and
+// returns the decoded instruction. ok=false means no instruction executes
+// this cycle: a trap was taken (translation, read, or decode failure) or
+// the bus stalled the fetch. The cached and naive paths make the same
+// cost-model calls in the same order and take the same traps with the
+// same fields, so simulated state cannot tell them apart.
+func (m *Machine) fetch(c *Core) (isa.Instr, bool) {
+	if m.execCache {
+		ec := c.ecLazy()
+		e := ec.islot(c.PC)
+		if e.hit(c.PC, c.AS, m.mem) {
+			ec.decodeHits++
+			if !c.memAccess(e.pa, isa.InstrBytes, false) {
+				return isa.Instr{}, false // bus stall on fetch
+			}
+			return e.ins, true
+		}
+		// Miss: run the naive pipeline and memoise on full success. The
+		// failure paths trap exactly as the naive loop does and are never
+		// cached, so a faulting fetch re-derives its trap every cycle.
+		ec.decodeMisses++
+		pa, _, ok := c.AS.Translate(c.PC, isa.InstrBytes, PermX)
+		if !ok {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
+			return isa.Instr{}, false
+		}
+		if !c.memAccess(pa, isa.InstrBytes, false) {
+			return isa.Instr{}, false // bus stall on fetch
+		}
+		var raw [isa.InstrBytes]byte
+		if err := m.mem.ReadAt(pa, raw[:]); err != nil {
+			m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
+			return isa.Instr{}, false
+		}
+		ins, err := isa.Decode(raw[:])
+		if err != nil {
+			m.trap(c, Trap{Kind: TrapIllegal, Addr: c.PC, PC: c.PC})
+			return isa.Instr{}, false
+		}
+		e.fill(c.PC, pa, c.AS, m.mem, ins)
+		return ins, true
+	}
+	pa, _, ok := c.AS.Translate(c.PC, isa.InstrBytes, PermX)
+	if !ok {
+		m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
+		return isa.Instr{}, false
+	}
+	if !c.memAccess(pa, isa.InstrBytes, false) {
+		return isa.Instr{}, false // bus stall on fetch
+	}
+	raw, err := m.mem.Read(pa, isa.InstrBytes)
+	if err != nil {
+		m.trap(c, Trap{Kind: TrapMemFault, Addr: c.PC, PC: c.PC})
+		return isa.Instr{}, false
+	}
+	ins, err := isa.Decode(raw)
+	if err != nil {
+		m.trap(c, Trap{Kind: TrapIllegal, Addr: c.PC, PC: c.PC})
+		return isa.Instr{}, false
+	}
+	return ins, true
+}
+
+// xlate translates a data access for the execution path, through the
+// per-core translation memo when the execution cache is enabled. The
+// (pa, ok) result is bit-identical to AddrSpace.Translate either way.
+func (m *Machine) xlate(c *Core, va uint64, n int, need Perm) (uint64, bool) {
+	if m.execCache {
+		ec := c.ecLazy()
+		return ec.translate(c.AS, ec.dslot(va), va, n, need)
+	}
+	pa, _, ok := c.AS.Translate(va, n, need)
+	return pa, ok
 }
 
 // exec executes a decoded instruction; it returns false if the core must
@@ -577,7 +718,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 	case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8:
 		size := loadSize(ins.Op)
 		va := c.reg(ins.Rs1) + uint64(int64(ins.Imm))
-		pa, _, ok := c.AS.Translate(va, size, PermR)
+		pa, ok := m.xlate(c, va, size, PermR)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
 			return true
@@ -600,7 +741,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
 		size := storeSize(ins.Op)
 		va := c.reg(ins.Rs1) + uint64(int64(ins.Imm))
-		pa, _, ok := c.AS.Translate(va, size, PermW)
+		pa, ok := m.xlate(c, va, size, PermW)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
 			return true
@@ -683,7 +824,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 
 	case isa.OpLL:
 		va := c.reg(ins.Rs1)
-		pa, _, ok := c.AS.Translate(va, 8, PermR)
+		pa, ok := m.xlate(c, va, 8, PermR)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
 			return true
@@ -700,7 +841,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		c.llAddr, c.llValid = pa, true
 	case isa.OpSC:
 		va := c.reg(ins.Rs1)
-		pa, _, ok := c.AS.Translate(va, 8, PermW)
+		pa, ok := m.xlate(c, va, 8, PermW)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
 			return true
@@ -720,7 +861,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		c.setReg(ins.Rd, 0)
 	case isa.OpCas:
 		va := c.reg(ins.Rs1)
-		pa, _, ok := c.AS.Translate(va, 8, PermR|PermW)
+		pa, ok := m.xlate(c, va, 8, PermR|PermW)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
 			return true
@@ -743,7 +884,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		c.AddStall(cost.Mul) // locked-op cost
 	case isa.OpXadd:
 		va := c.reg(ins.Rs1)
-		pa, _, ok := c.AS.Translate(va, 8, PermR|PermW)
+		pa, ok := m.xlate(c, va, 8, PermR|PermW)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: va, PC: c.PC})
 			return true
@@ -773,8 +914,8 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 			chunk = remaining
 		}
 		dstVA, srcVA := c.reg(ins.Rs1), c.reg(ins.Rs2)
-		dstPA, _, okD := c.AS.Translate(dstVA, int(chunk), PermW)
-		srcPA, _, okS := c.AS.Translate(srcVA, int(chunk), PermR)
+		dstPA, okD := m.xlate(c, dstVA, int(chunk), PermW)
+		srcPA, okS := m.xlate(c, srcVA, int(chunk), PermR)
 		if !okD || !okS {
 			va := dstVA
 			if !okS {
@@ -786,11 +927,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		if !c.streamAccess(srcPA, dstPA, int(chunk)) {
 			return false
 		}
-		buf, err := m.mem.Read(srcPA, int(chunk))
-		if err == nil {
-			err = m.mem.Write(dstPA, buf)
-		}
-		if err != nil {
+		if err := m.mem.Move(dstPA, srcPA, int(chunk)); err != nil {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: dstVA, PC: c.PC})
 			return true
 		}
@@ -811,7 +948,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 			chunk = remaining
 		}
 		dstVA := c.reg(ins.Rs1)
-		dstPA, _, ok := c.AS.Translate(dstVA, int(chunk), PermW)
+		dstPA, ok := m.xlate(c, dstVA, int(chunk), PermW)
 		if !ok {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: dstVA, PC: c.PC})
 			return true
@@ -819,11 +956,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		if !c.streamAccess(^uint64(0), dstPA, int(chunk)) {
 			return false
 		}
-		fill := make([]byte, chunk)
-		for i := range fill {
-			fill[i] = byte(ins.Imm)
-		}
-		if err := m.mem.Write(dstPA, fill); err != nil {
+		if err := m.mem.Fill(dstPA, int(chunk), byte(ins.Imm)); err != nil {
 			m.trap(c, Trap{Kind: TrapMemFault, Addr: dstVA, PC: c.PC})
 			return true
 		}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -9,17 +10,35 @@ import (
 // MMIO window.
 var ErrBadPhysAddr = errors.New("machine: physical address out of range")
 
+// pageShift sets the granularity of the mutation-generation tracking that
+// invalidates the predecoded instruction cache: one counter per 4 KiB
+// physical page.
+const pageShift = 12
+
 // Mem is the machine's physical memory. Reads and writes are raw; cache
 // and bus accounting happen in the core stepping path, not here, so
 // devices (DMA) and fault injectors can touch memory without disturbing
 // the cost model.
+//
+// Every mutation path — Write, WriteU, Fill, Move, FlipBit, and Slice
+// window grants — bumps a per-page generation counter. The per-core
+// execution caches (execcache.go) validate their predecoded entries
+// against these counters, which is what makes self-modifying code,
+// injected bit-flips in text, DMA, and re-integration partition copies
+// behave bit-identically with and without the caches.
 type Mem struct {
 	bytes []byte
+	// pageGen counts mutations per physical page. Monotonic, 64-bit, so
+	// it never wraps into a false cache hit.
+	pageGen []uint64
 }
 
 // NewMem allocates size bytes of zeroed physical memory.
 func NewMem(size int) *Mem {
-	return &Mem{bytes: make([]byte, size)}
+	return &Mem{
+		bytes:   make([]byte, size),
+		pageGen: make([]uint64, (size+(1<<pageShift)-1)>>pageShift),
+	}
 }
 
 // Size returns the memory size in bytes.
@@ -32,6 +51,17 @@ func (m *Mem) check(addr uint64, n int) error {
 	return nil
 }
 
+// touch bumps the mutation generation of every page overlapping
+// [addr, addr+n). Callers must have bounds-checked the range.
+func (m *Mem) touch(addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	for p := addr >> pageShift; p <= (addr+uint64(n)-1)>>pageShift; p++ {
+		m.pageGen[p]++
+	}
+}
+
 // Read copies n bytes starting at addr into a fresh slice.
 func (m *Mem) Read(addr uint64, n int) ([]byte, error) {
 	if err := m.check(addr, n); err != nil {
@@ -42,12 +72,52 @@ func (m *Mem) Read(addr uint64, n int) ([]byte, error) {
 	return out, nil
 }
 
+// ReadAt copies len(dst) bytes starting at addr into dst — the
+// allocation-free variant of Read for hot paths that own a buffer.
+func (m *Mem) ReadAt(addr uint64, dst []byte) error {
+	if err := m.check(addr, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, m.bytes[addr:])
+	return nil
+}
+
 // Write copies b into memory at addr.
 func (m *Mem) Write(addr uint64, b []byte) error {
 	if err := m.check(addr, len(b)); err != nil {
 		return err
 	}
 	copy(m.bytes[addr:], b)
+	m.touch(addr, len(b))
+	return nil
+}
+
+// Move copies n bytes from src to dst within physical memory without
+// allocating. Overlapping ranges behave as if staged through an
+// intermediate buffer (memmove semantics), identical to Read followed by
+// Write.
+func (m *Mem) Move(dst, src uint64, n int) error {
+	if err := m.check(src, n); err != nil {
+		return err
+	}
+	if err := m.check(dst, n); err != nil {
+		return err
+	}
+	copy(m.bytes[dst:dst+uint64(n)], m.bytes[src:src+uint64(n)])
+	m.touch(dst, n)
+	return nil
+}
+
+// Fill sets n bytes at addr to v without allocating.
+func (m *Mem) Fill(addr uint64, n int, v byte) error {
+	if err := m.check(addr, n); err != nil {
+		return err
+	}
+	s := m.bytes[addr : addr+uint64(n)]
+	for i := range s {
+		s[i] = v
+	}
+	m.touch(addr, n)
 	return nil
 }
 
@@ -56,9 +126,20 @@ func (m *Mem) ReadU(addr uint64, size int) (uint64, error) {
 	if err := m.check(addr, size); err != nil {
 		return 0, err
 	}
+	b := m.bytes[addr:]
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	}
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(m.bytes[addr+uint64(i)])
+		v = v<<8 | uint64(b[i])
 	}
 	return v, nil
 }
@@ -68,9 +149,22 @@ func (m *Mem) WriteU(addr uint64, size int, v uint64) error {
 	if err := m.check(addr, size); err != nil {
 		return err
 	}
-	for i := 0; i < size; i++ {
-		m.bytes[addr+uint64(i)] = byte(v >> (8 * i))
+	b := m.bytes[addr:]
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		for i := 0; i < size; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
 	}
+	m.touch(addr, size)
 	return nil
 }
 
@@ -81,15 +175,21 @@ func (m *Mem) FlipBit(addr uint64, bit uint) error {
 		return err
 	}
 	m.bytes[addr] ^= 1 << (bit % 8)
+	m.touch(addr, 1)
 	return nil
 }
 
 // Slice returns a window into physical memory for zero-copy device DMA.
-// The caller must not hold it across a resize (memory never resizes).
+// The caller must not hold it across a resize (memory never resizes), and
+// must complete any writes through the window before the next core
+// instruction executes — re-acquire the window for each DMA burst. The
+// grant conservatively marks the whole window mutated, which is what keeps
+// the predecoded instruction cache coherent with DMA into text pages.
 func (m *Mem) Slice(addr uint64, n int) ([]byte, error) {
 	if err := m.check(addr, n); err != nil {
 		return nil, err
 	}
+	m.touch(addr, n)
 	return m.bytes[addr : addr+uint64(n)], nil
 }
 
@@ -102,6 +202,11 @@ type cache struct {
 	dirty     []bool
 	lineShift uint
 	nlines    uint64
+	// pow2 selects masking over modulo for the line-index fold. Every
+	// shipped profile has a power-of-two line count; the modulo path is
+	// the fallback for exotic hand-built profiles.
+	pow2     bool
+	lineMask uint64
 }
 
 func newCache(capacity, lineSize int) *cache {
@@ -119,7 +224,18 @@ func newCache(capacity, lineSize int) *cache {
 		dirty:     make([]bool, n),
 		lineShift: shift,
 		nlines:    uint64(n),
+		pow2:      n&(n-1) == 0,
+		lineMask:  uint64(n - 1),
 	}
+}
+
+// index folds a line number onto a cache slot: a mask when the line count
+// is a power of two (always, for the shipped profiles), modulo otherwise.
+func (c *cache) index(line uint64) uint64 {
+	if c.pow2 {
+		return line & c.lineMask
+	}
+	return line % c.nlines
 }
 
 // peek counts the line misses and dirty evictions an access of
@@ -128,7 +244,7 @@ func (c *cache) peek(addr uint64, size int) (misses, evictions int) {
 	first := addr >> c.lineShift
 	last := (addr + uint64(size) - 1) >> c.lineShift
 	for line := first; line <= last; line++ {
-		idx := line % c.nlines
+		idx := c.index(line)
 		if !c.valid[idx] || c.tags[idx] != line {
 			misses++
 			if c.valid[idx] && c.dirty[idx] {
@@ -144,7 +260,7 @@ func (c *cache) access(addr uint64, size int, write bool) {
 	first := addr >> c.lineShift
 	last := (addr + uint64(size) - 1) >> c.lineShift
 	for line := first; line <= last; line++ {
-		idx := line % c.nlines
+		idx := c.index(line)
 		if !c.valid[idx] || c.tags[idx] != line {
 			c.tags[idx] = line
 			c.valid[idx] = true
