@@ -8,6 +8,9 @@
 //	            [-parallel N] [-json]
 //	rcoe-faults soak [-cycles N] [-campaigns N] [-seed N] [-window N]
 //	                 [-budget N] [-parallel N] [-json] [-quiet]
+//	rcoe-faults taxonomy [-mode lc|cc] [-replicas N] [-arch x86|arm]
+//	                     [-classes LIST] [-trials N] [-decorrelate]
+//	                     [-masking] [-seed N] [-parallel N] [-json] [-quiet]
 //
 // The default campaign prints a per-outcome tally in the categories of
 // the paper's Tables VII/IX, with the controlled/uncontrolled split. The
@@ -16,6 +19,14 @@
 // masking TMR system, with straggler ejection and live re-integration
 // after every downgrade. -campaigns N sweeps N independent campaigns
 // (seeds derived from -seed) fanned across host cores.
+//
+// The taxonomy subcommand runs the hard-fault characterization study:
+// per fault class (transient, stuck-at, burst, intermittent, device) it
+// tallies trial outcomes and folds them into the dependability taxonomy —
+// SDC / detected-corrected / detected-uncorrected / masked. -classes
+// selects a comma-separated subset ("all" by default); -decorrelate runs
+// the replicas under structurally decorrelated memory layouts. Per-class
+// progress goes to stderr; stdout stays a timing-free artifact.
 //
 // -parallel sets the host worker count of the experiment engine; worker
 // count never changes results. -json emits a structured result artifact
@@ -45,6 +56,9 @@ func main() {
 func run() int {
 	if len(os.Args) > 1 && os.Args[1] == "soak" {
 		return runSoak(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "taxonomy" {
+		return runTaxonomy(os.Args[2:])
 	}
 	return runMemCampaign(os.Args[1:])
 }
@@ -172,6 +186,146 @@ func runMemCampaign(args []string) int {
 	}
 	fmt.Printf("observed errors: %d  controlled: %d  uncontrolled: %d\n",
 		tally.Observed(), tally.Controlled(), tally.Uncontrolled())
+	return 0
+}
+
+// classReport is one fault class's slice of the taxonomy artifact.
+type classReport struct {
+	Trials     int               `json:"trials"`
+	Injected   uint64            `json:"injected"`
+	Outcomes   map[string]uint64 `json:"outcomes"`
+	Categories map[string]uint64 `json:"categories"`
+}
+
+func runTaxonomy(args []string) int {
+	fs := flag.NewFlagSet("rcoe-faults taxonomy", flag.ExitOnError)
+	mode := fs.String("mode", "lc", "replication mode: lc or cc")
+	replicas := fs.Int("replicas", 3, "replica count (2-3)")
+	arch := fs.String("arch", "x86", "machine profile: x86 or arm")
+	classes := fs.String("classes", "all", "comma-separated fault classes (transient, stuck-at, burst, intermittent, device) or all")
+	trials := fs.Int("trials", 10, "injection trials per class")
+	decorrelate := fs.Bool("decorrelate", false, "run replicas under structurally decorrelated layouts")
+	masking := fs.Bool("masking", true, "allow a TMR system to vote faulty replicas out")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	ops := fs.Uint64("ops", 150, "client operations per trial")
+	parallel := fs.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
+	jsonOut := fs.Bool("json", false, "emit a structured JSON result on stdout (progress on stderr)")
+	quiet := fs.Bool("quiet", false, "suppress the per-class progress log")
+	_ = fs.Parse(args)
+	exp.SetDefaultWorkers(*parallel)
+
+	var m core.Mode
+	switch *mode {
+	case "lc":
+		m = core.ModeLC
+	case "cc":
+		m = core.ModeCC
+	default:
+		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: unknown mode %q\n", *mode)
+		return 2
+	}
+	var prof machine.Profile
+	switch *arch {
+	case "x86":
+		prof = machine.X86()
+	case "arm":
+		prof = machine.Arm()
+	default:
+		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: unknown arch %q\n", *arch)
+		return 2
+	}
+	selected, err := faults.ParseClasses(*classes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %v\n", err)
+		return 2
+	}
+
+	opts := faults.HardCampaignOptions{
+		KV: harness.KVOptions{
+			System: core.Config{
+				Mode: m, Replicas: *replicas, Profile: prof,
+				Masking:           *masking && *replicas >= 3,
+				Decorrelate:       *decorrelate,
+				TickCycles:        50_000,
+				ExceptionBarriers: prof.Name == "arm",
+			},
+			Workload:    workload.YCSBA,
+			Records:     32,
+			Operations:  *ops,
+			TraceOutput: true,
+		},
+		Classes:           selected,
+		TrialsPerClass:    *trials,
+		TargetAllReplicas: prof.Name == "arm",
+		Seed:              *seed,
+	}
+	if !*quiet {
+		opts.Progress = func(class faults.FaultClass, done, total int) {
+			fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %-12s done (%d/%d classes, %d trials each)\n",
+				class, done, total, *trials)
+		}
+	}
+	tallies, err := faults.HardCampaign(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %v\n", err)
+		return 1
+	}
+
+	categoryCounts := func(t *faults.Tally) map[string]uint64 {
+		out := map[string]uint64{}
+		for c, n := range t.Categories() {
+			out[c.String()] = n
+		}
+		return out
+	}
+	if *jsonOut {
+		perClass := map[string]classReport{}
+		total := map[string]uint64{}
+		for class, t := range tallies {
+			perClass[class.String()] = classReport{
+				Trials: *trials, Injected: t.Injected,
+				Outcomes: tallyCounts(t), Categories: categoryCounts(t),
+			}
+			for c, n := range t.Categories() {
+				total[c.String()] += n
+			}
+		}
+		return emitJSON(struct {
+			Schema      string                 `json:"schema"`
+			Mode        string                 `json:"mode"`
+			Replicas    int                    `json:"replicas"`
+			Arch        string                 `json:"arch"`
+			Masking     bool                   `json:"masking"`
+			Decorrelate bool                   `json:"decorrelate"`
+			Trials      int                    `json:"trials_per_class"`
+			Seed        uint64                 `json:"seed"`
+			Classes     map[string]classReport `json:"classes"`
+			Categories  map[string]uint64      `json:"categories"`
+		}{
+			Schema: "rcoe-faults/taxonomy/v1", Mode: *mode, Replicas: *replicas,
+			Arch: *arch, Masking: opts.KV.System.Masking, Decorrelate: *decorrelate,
+			Trials: *trials, Seed: *seed, Classes: perClass, Categories: total,
+		})
+	}
+	fmt.Printf("taxonomy: %s-%d on %s, %d trials/class, decorrelate=%v masking=%v\n",
+		*mode, *replicas, *arch, *trials, *decorrelate, opts.KV.System.Masking)
+	for _, class := range selected {
+		t := tallies[class]
+		fmt.Printf("%s (%d injections):\n", class, t.Injected)
+		for _, o := range sortedOutcomes(t) {
+			fmt.Printf("  %-20s %-4d -> %s\n", o.String(), t.Counts[o], faults.Categorize(o))
+		}
+	}
+	total := map[faults.Category]uint64{}
+	for _, t := range tallies {
+		for c, n := range t.Categories() {
+			total[c] += n
+		}
+	}
+	fmt.Println("taxonomy totals:")
+	for _, c := range faults.AllCategories() {
+		fmt.Printf("  %-22s %d\n", c.String(), total[c])
+	}
 	return 0
 }
 

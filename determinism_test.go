@@ -270,3 +270,53 @@ func TestDeterminismFaultCampaigns(t *testing.T) {
 		t.Fatalf("reg campaign tallies diverged:\ncached: %+v\nnaive:  %+v", base, got)
 	}
 }
+
+// TestDeterminismHardFaultMatrix runs one trial of every hard-fault class
+// — stuck bits re-asserted on each access, duty-cycled intermittent
+// faults, NIC DMA corruption — under the full {fast-forward × exec-cache}
+// host matrix, with structural decorrelation both off and on. Stuck bits
+// are the hardest case for the execution cache (they must stay visible
+// without ever entering predecoded state), and intermittent faults toggle
+// on machine-time phases the idle skip must not jump over; every variant
+// must classify every trial identically.
+func TestDeterminismHardFaultMatrix(t *testing.T) {
+	for _, decorr := range []bool{false, true} {
+		name := "correlated"
+		if decorr {
+			name = "decorrelated"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(noFF, noEC bool) map[rcoe.FaultClass]*faults.Tally {
+				tallies, err := rcoe.HardCampaign(rcoe.HardCampaignOptions{
+					KV: harness.KVOptions{
+						System: rcoe.Config{
+							Mode:               rcoe.ModeLC,
+							Replicas:           3,
+							Masking:            true,
+							Decorrelate:        decorr,
+							TickCycles:         50_000,
+							DisableFastForward: noFF,
+							DisableExecCache:   noEC,
+						},
+						Workload:   workload.YCSBA,
+						Records:    20,
+						Operations: 40,
+					},
+					TrialsPerClass: 1,
+					Seed:           17,
+				})
+				if err != nil {
+					t.Fatalf("hard campaign (noFF=%v noEC=%v): %v", noFF, noEC, err)
+				}
+				return tallies
+			}
+			base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+			for _, v := range hostVariants[1:] {
+				if got := run(v.noFF, v.noEC); !reflect.DeepEqual(base, got) {
+					t.Fatalf("hard-fault tallies diverged (%s):\nbase: %+v\ngot:  %+v",
+						v.name, base, got)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ type Builder struct {
 	instrs []isa.Instr
 	labels map[string]int
 	fixups []fixup
+	relocs []int // indices of LiVA address literals (see Relocs)
 	err    error
 }
 
@@ -196,6 +197,25 @@ func (b *Builder) Li(rd uint8, imm int32) {
 func (b *Builder) LiLabel(rd uint8, label string) {
 	b.emitLabelled(isa.Instr{Op: isa.OpLi, Rd: rd}, label)
 }
+
+// LiVA loads a user-space virtual-address literal into rd and records a
+// relocation for it, so the loader can shift the literal when the process
+// image is laid out with a per-replica delta (structural decorrelation,
+// kernel.ProcessConfig.Relocs). Only addresses inside the shiftable
+// window — the data and stack segments — belong in LiVA; text, shared,
+// and device addresses are identical across replicas and use Li64.
+func (b *Builder) LiVA(rd uint8, va uint64) {
+	if int64(va) != int64(int32(va)) {
+		b.fail("asm: virtual address %#x exceeds imm32 range for LiVA", va)
+		return
+	}
+	b.relocs = append(b.relocs, len(b.instrs))
+	b.Li(rd, int32(va))
+}
+
+// Relocs returns the instruction indices of LiVA address literals in the
+// final program (valid after all rewrites), for kernel.ProcessConfig.
+func (b *Builder) Relocs() []int { return append([]int(nil), b.relocs...) }
 
 // Li64 loads an arbitrary 64-bit constant, using one instruction when the
 // value fits in a sign-extended imm32 and two otherwise.
@@ -468,6 +488,9 @@ func (b *Builder) RewriteBefore(pred func(isa.Instr) bool, gen func(isa.Instr) [
 	for fi := range b.fixups {
 		b.fixups[fi].index = origPos[b.fixups[fi].index]
 	}
+	for ri := range b.relocs {
+		b.relocs[ri] = origPos[b.relocs[ri]]
+	}
 	for name, idx := range b.labels {
 		b.labels[name] = prefixStart[idx]
 	}
@@ -523,8 +546,13 @@ func (b *Builder) RewriteWindows(size int, match func([]isa.Instr) bool, gen fun
 	for _, f := range b.fixups {
 		fixupAt[f.index] = append(fixupAt[f.index], f)
 	}
+	relocAt := make(map[int]int)
+	for _, r := range b.relocs {
+		relocAt[r]++
+	}
 	var out []isa.Instr
 	var outFixups []fixup
+	var outRelocs []int
 	i := 0
 	for i < len(b.instrs) {
 		if i+size <= len(b.instrs) && match(b.instrs[i:i+size]) {
@@ -548,6 +576,9 @@ func (b *Builder) RewriteWindows(size int, match func([]isa.Instr) bool, gen fun
 			f.index = len(out)
 			outFixups = append(outFixups, f)
 		}
+		for k := 0; k < relocAt[i]; k++ {
+			outRelocs = append(outRelocs, len(out))
+		}
 		out = append(out, b.instrs[i])
 		i++
 	}
@@ -557,4 +588,5 @@ func (b *Builder) RewriteWindows(size int, match func([]isa.Instr) bool, gen fun
 	}
 	b.instrs = out
 	b.fixups = outFixups
+	b.relocs = outRelocs
 }

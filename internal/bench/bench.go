@@ -102,7 +102,7 @@ func stockCases() []replCase {
 // assembleFor builds and assembles a guest program for a configuration,
 // instrumenting it and producing branch-site metadata when the
 // configuration needs compiler-assisted counting.
-func assembleFor(cfg *core.Config, p guest.Program) ([]isa.Instr, map[uint64]bool, error) {
+func assembleFor(cfg *core.Config, p guest.Program) ([]isa.Instr, []int, map[uint64]bool, error) {
 	if cfg.Profile.Name == "" {
 		cfg.Profile = machine.X86()
 	}
@@ -114,13 +114,13 @@ func assembleFor(cfg *core.Config, p guest.Program) ([]isa.Instr, map[uint64]boo
 	}
 	prog, err := b.Assemble(kernel.TextVA)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bench: assemble %s: %w", p.Name, err)
+		return nil, nil, nil, fmt.Errorf("bench: assemble %s: %w", p.Name, err)
 	}
 	var sites map[uint64]bool
 	if needsPass {
 		sites = compilerpass.BranchSites(prog, kernel.TextVA)
 	}
-	return prog, sites, nil
+	return prog, b.Relocs(), sites, nil
 }
 
 // runProgram assembles and runs a guest program under a configuration,

@@ -93,7 +93,7 @@ func dataRaceRun(mode core.Mode, threads int, iters, idle int64, tick uint64) (b
 // buildSystem assembles p for cfg (instrumenting when needed) and loads
 // it, returning the ready system.
 func buildSystem(cfg core.Config, p guest.Program) (*core.System, error) {
-	prog, sites, err := assembleFor(&cfg, p)
+	prog, relocs, sites, err := assembleFor(&cfg, p)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +107,7 @@ func buildSystem(cfg core.Config, p guest.Program) (*core.System, error) {
 	}
 	if err := sys.Load(kernel.ProcessConfig{
 		Prog: prog, DataBytes: p.DataBytes, Data: p.Data, Arg: p.Arg, Stacks: p.Stacks,
+		Relocs: relocs,
 	}); err != nil {
 		return nil, err
 	}

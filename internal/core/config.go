@@ -140,6 +140,21 @@ type Config struct {
 	// DisableFastForward, the two modes are bit-identical by contract,
 	// enforced by the differential determinism tests.
 	DisableExecCache bool
+	// Decorrelate gives each replica a structurally different memory
+	// layout: the data and stack segments' virtual bases are shifted by a
+	// distinct page-aligned per-replica delta, the physical placement
+	// within the partition is padded and reordered, and address-literal
+	// relocations in the program are patched to match. Replicas still
+	// execute the identical instruction stream at identical text
+	// addresses; the vote path canonicalizes the known pointer positions
+	// (kernel.CanonVA), so fault-free runs vote clean. What changes is the
+	// failure coverage: a wild pointer or a physical fault now corrupts
+	// *different* program state in each replica, turning correlated silent
+	// corruption into a detectable signature divergence.
+	Decorrelate bool
+	// LayoutSeed selects the per-replica deltas when Decorrelate is on
+	// (0 = a fixed default). Deltas are bounded by kernel.MaxLayoutShift.
+	LayoutSeed uint64
 	// TraceSeed perturbs nothing functional; it seeds workload-level
 	// randomness so repeated runs differ deterministically.
 	TraceSeed uint64

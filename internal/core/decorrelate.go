@@ -1,0 +1,46 @@
+package core
+
+import "rcoe/internal/kernel"
+
+// Structural decorrelation: identical software, different layouts.
+//
+// Bit-identical replicas share every layout decision, so a deterministic
+// software bug — a wild pointer, a buffer overrun — corrupts the same
+// state in all of them and sails through the vote as correlated silent
+// data corruption. Shifting each replica's data and stack segments by a
+// distinct delta (and shuffling the physical placement inside its
+// partition) makes the same bug hit different program state per replica;
+// the divergence then shows up in the output signatures like any other
+// fault. This is the redundant-execution analogue of the layout
+// diversity argument in n-version and address-space-randomization work,
+// constrained by RCoE's needs: text never moves (CC compares instruction
+// pointers across replicas) and deltas stay page-aligned (block-op chunk
+// sequences depend only on remaining counts, so catch-up is unaffected).
+
+// replicaLayout derives replica rid's layout: the virtual-base delta for
+// data/stacks, the physical pad after text, and whether the physical
+// data/stack order is swapped. Replica 0 keeps the canonical layout, so
+// one replica always matches the correlated baseline. Deltas are
+// rid*stride with a seeded stride of 1-32 pages: pairwise distinct, and
+// within kernel.MaxLayoutShift for up to four replicas.
+func replicaLayout(seed uint64, rid int) (delta, pad uint64, swap bool) {
+	if rid == 0 {
+		return 0, 0, false
+	}
+	mix := seed
+	if mix == 0 {
+		mix = 0xA076_1D64_78BD_642F
+	}
+	mix ^= uint64(rid) * 0x9E37_79B9_7F4A_7C15
+	mix ^= mix >> 33
+	mix *= 0xFF51_AFD7_ED55_8CCD
+	mix ^= mix >> 29
+	stride := 1 + mix%32
+	delta = 0x1000 * stride * uint64(rid)
+	if delta > kernel.MaxLayoutShift {
+		delta = kernel.MaxLayoutShift - 0x1000*uint64(rid)
+	}
+	pad = 0x1000 * ((mix >> 8) % 8)
+	swap = (mix>>16)&1 == 1
+	return delta, pad, swap
+}

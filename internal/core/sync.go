@@ -144,7 +144,21 @@ func (s *System) catchUp(r *Replica, target logicalTime) {
 		r.chasing = true
 		r.chaseTarget = target
 		c := r.Core()
-		my := s.timeOf(r).Branches
+		myT := s.timeOf(r)
+		my := myT.Branches
+		// The leader parked mid-block at this replica's exact (branches,
+		// IP): an instruction breakpoint at that IP would re-fire on the
+		// very next fetch (rep-style ops stay on the same PC), paying a
+		// debug exception before the watchpoint can even arm. Go straight
+		// to the data watchpoint at the leader's remaining count.
+		if target.Branches == myT.Branches && target.IP == myT.IP &&
+			target.BlockRem > 0 && myT.BlockRem > target.BlockRem {
+			c.BlockWatch.Rem = target.BlockRem
+			c.BlockWatch.Enabled = true
+			c.BP.Enabled = false
+			c.ResumeOnce = false
+			return
+		}
 		// Large deficits are covered with a PMU overflow interrupt —
 		// free-running until just short of the leader — and only the tail
 		// uses per-iteration breakpoints. Without this, a breakpoint in a
@@ -177,6 +191,7 @@ func (s *System) clearChase(r *Replica) {
 	c.SingleStep = false
 	c.ResumeOnce = false
 	c.BranchWatch.Enabled = false
+	c.BlockWatch.Enabled = false
 }
 
 // parkAtRendezvous spins the replica on the kernel barrier until all
@@ -528,9 +543,24 @@ func (s *System) onBreakpoint(r *Replica) {
 		if s.rec != nil {
 			s.trEvent(r, trace.KindCatchUpStep, target.Branches-lt.Branches, target.IP)
 		}
-		if s.cfg.Profile.HasResumeFlag {
+		switch {
+		case lt.Events == target.Events && lt.Branches == target.Branches &&
+			lt.IP == target.IP && target.BlockRem > 0:
+			// The leader stopped *inside* the block instruction this
+			// replica is executing. The resume flag suppresses the
+			// breakpoint until the instruction completes, which would
+			// free-run the entire remaining block and overshoot; instead,
+			// place a data-write watchpoint at the leader's destination
+			// cursor (position inside a rep copy maps 1:1 onto the
+			// destination address), which stops the block op at exactly
+			// the leader's remaining count in a single debug exception
+			// (§III-D's rep-prefix case).
+			c.BP.Enabled = false
+			c.BlockWatch.Rem = target.BlockRem
+			c.BlockWatch.Enabled = true
+		case s.cfg.Profile.HasResumeFlag:
 			c.ResumeOnce = true
-		} else {
+		default:
 			c.BP.Enabled = false
 			c.SingleStep = true
 		}

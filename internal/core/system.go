@@ -58,6 +58,7 @@ type Stats struct {
 	DowngradeCycles uint64 // cycles consumed by the last downgrade
 	Reintegrations  uint64 // completed DMR->TMR upgrades (§IV-C)
 	Ejections       uint64 // stragglers voted out on barrier timeout
+	Downgrades      uint64 // faulty replicas voted out by signature (§IV-A)
 	WatchdogProbes  uint64 // probe rendezvous opened by the sync watchdog
 }
 
@@ -328,10 +329,17 @@ func (s *System) Halted() (bool, string) { return s.halted, s.haltReason }
 func (s *System) Finished() bool { return s.finished }
 
 // Load loads the same user process into every replica and starts the
-// replica cores. Call once before Run.
+// replica cores. Call once before Run. Under Config.Decorrelate each
+// replica receives the image under its own layout (virtual shift plus
+// physical shuffle); the program and its observable behaviour are
+// otherwise identical.
 func (s *System) Load(cfg kernel.ProcessConfig) error {
 	for _, r := range s.reps {
-		if err := r.K.LoadProcess(cfg); err != nil {
+		rcfg := cfg
+		if s.cfg.Decorrelate {
+			rcfg.LayoutDelta, rcfg.PhysPad, rcfg.PhysSwap = replicaLayout(s.cfg.LayoutSeed, r.ID)
+		}
+		if err := r.K.LoadProcess(rcfg); err != nil {
 			return fmt.Errorf("core: replica %d: %w", r.ID, err)
 		}
 		if !r.K.Schedule() {

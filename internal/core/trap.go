@@ -48,6 +48,10 @@ func (s *System) HandleTrap(c *machine.Core, t machine.Trap) {
 		s.onSingleStep(r)
 	case machine.TrapBranchWatch:
 		s.onBranchWatch(r)
+	case machine.TrapBlockWatch:
+		// The data watchpoint stopped the block op at the leader's exact
+		// remaining count; the comparison logic is the breakpoint's.
+		s.onBreakpoint(r)
 	case machine.TrapHalt:
 		s.sysExit(r, r.Core().Regs[1])
 	case machine.TrapMemFault, machine.TrapIllegal, machine.TrapDivZero:
@@ -128,7 +132,10 @@ func (s *System) onUserFault(r *Replica, t machine.Trap) {
 		s.afterKernel(r)
 		return
 	}
-	k.AddTrace(0xFA01, uint64(t.Kind), t.Addr, t.PC)
+	// Fault addresses are canonicalized: decorrelated replicas faulting on
+	// the same logical address (e.g. all dereference the same NULL-ish
+	// pointer relative to their own layout) fold identical fingerprints.
+	k.AddTrace(0xFA01, uint64(t.Kind), k.CanonVA(t.Addr), t.PC)
 	if s.cfg.ExceptionBarriers {
 		s.requestSync(r.ID, syncIRQ, 0)
 	}
@@ -165,7 +172,8 @@ func (s *System) onSyscall(r *Replica, t machine.Trap) {
 			// (e.g. they may hold a SysGetRID result) and must not enter
 			// the signature.
 			words := []uint64{uint64(uint32(num))}
-			k.AddTrace(append(words, args[:argCount(num)]...)...)
+			cargs := canonSigArgs(k, num, args)
+			k.AddTrace(append(words, cargs[:argCount(num)]...)...)
 		}
 		if s.cfg.Sig == SigSync && num != int32(kernel.SysFTMemAccess) && num != int32(kernel.SysFTMemRep) {
 			s.stats.SyscallVotes++
@@ -176,6 +184,25 @@ func (s *System) onSyscall(r *Replica, t machine.Trap) {
 		}
 	}
 	s.dispatch(r, num, args)
+}
+
+// canonSigArgs returns args with the pointer-typed positions mapped to
+// the canonical layout (kernel.CanonVA), so decorrelated replicas fold
+// identical signature words for the same logical pointer. Only positions
+// that are pointers *by the syscall's contract* are touched: heuristic
+// canonicalization of arbitrary values would itself diverge (a non-pointer
+// constant that happens to land in one replica's shifted window but not
+// another's would canonicalize differently).
+func canonSigArgs(k *kernel.Kernel, num int32, args [4]uint64) [4]uint64 {
+	switch num {
+	case kernel.SysSpawn:
+		args[1] = k.CanonVA(args[1]) // stack top (entry is text: unshifted)
+	case kernel.SysAtomicAdd, kernel.SysFTAddTrace, kernel.SysFTMemRep:
+		args[0] = k.CanonVA(args[0]) // user buffer address
+	case kernel.SysFTMemAccess:
+		args[2] = k.CanonVA(args[2]) // user-side VA of the transfer
+	}
+	return args
 }
 
 // argCount returns how many argument registers a syscall consumes.
@@ -214,8 +241,9 @@ func (s *System) dispatch(r *Replica, num int32, args [4]uint64) {
 		}
 		if s.cfg.Mode != ModeNone {
 			// Thread-table updates are critical kernel state: always in
-			// the signature regardless of configuration (§III-C).
-			k.AddTrace(0xC001, args[0], args[1])
+			// the signature regardless of configuration (§III-C). The
+			// stack-top argument is a pointer: canonicalize it.
+			k.AddTrace(0xC001, args[0], k.CanonVA(args[1]))
 		}
 		setRet(r, uint64(tid))
 	case kernel.SysAtomicAdd:

@@ -102,6 +102,7 @@ func (s *System) downgrade(faulty int) {
 		return
 	}
 	s.record(DetectSignatureMismatch, faulty, true)
+	s.stats.Downgrades++
 	s.trSys(trace.KindEject, uint64(faulty), uint64(DetectSignatureMismatch))
 	if s.met != nil {
 		s.met.Ejections.Inc()

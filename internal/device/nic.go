@@ -56,6 +56,25 @@ type NIC struct {
 	// RxDelivered and TxCollected count frames through each mailbox.
 	RxDelivered uint64
 	TxCollected uint64
+
+	// CorruptRxEvery, when non-zero, flips one seeded bit of every N-th RX
+	// frame during the DMA write into the mailbox — a device-level fault
+	// the replicas cannot vote away because it happens outside the sphere
+	// of replication, before FT_Mem_Rep distributes the payload. The
+	// corruption is in flight: the injector's copy of the frame stays
+	// intact, only the mailbox bytes differ.
+	CorruptRxEvery uint64
+	// CorruptTxEvery is the TX-side twin: every N-th collected response
+	// has one seeded bit flipped after it leaves the mailbox, modeling a
+	// fault between driver handoff and the wire.
+	CorruptTxEvery uint64
+	// CorruptSeed drives the bit choice (0 = a fixed default).
+	CorruptSeed uint64
+	// RxCorrupted and TxCorrupted count injected frame corruptions.
+	RxCorrupted uint64
+	TxCorrupted uint64
+
+	crng uint64
 }
 
 // NewNIC creates a NIC with registers at mmioBase, using the DMA region
@@ -122,8 +141,13 @@ func (n *NIC) Tick(m *machine.Machine) {
 			}
 			data, err := mem.Read(n.TxDataPA(), int(ln))
 			if err == nil {
-				n.responses = append(n.responses, data)
 				n.TxCollected++
+				if n.CorruptTxEvery > 0 && n.TxCollected%n.CorruptTxEvery == 0 && len(data) > 0 {
+					bit := n.corruptBit(uint64(len(data)))
+					data[bit>>3] ^= 1 << (bit & 7)
+					n.TxCorrupted++
+				}
+				n.responses = append(n.responses, data)
 			}
 			_ = mem.WriteU(n.TxFlagPA(), 8, 0)
 		}
@@ -138,8 +162,13 @@ func (n *NIC) Tick(m *machine.Machine) {
 			}
 			_ = mem.WriteU(n.RxLenPA(), 8, uint64(len(frame)))
 			_ = mem.Write(n.RxDataPA(), frame)
-			_ = mem.WriteU(n.RxFlagPA(), 8, 1)
 			n.RxDelivered++
+			if n.CorruptRxEvery > 0 && n.RxDelivered%n.CorruptRxEvery == 0 && len(frame) > 0 {
+				bit := n.corruptBit(uint64(len(frame)))
+				_ = mem.FlipBit(n.RxDataPA()+bit>>3, uint(bit&7))
+				n.RxCorrupted++
+			}
+			_ = mem.WriteU(n.RxFlagPA(), 8, 1)
 			m.RaiseIRQ(n.line)
 		}
 	}
@@ -165,6 +194,20 @@ func (n *NIC) NextEvent(now uint64) uint64 {
 		// flag, a core action.
 	}
 	return machine.NoEvent
+}
+
+// corruptBit draws the next seeded bit index for a frame of nbytes.
+func (n *NIC) corruptBit(nbytes uint64) uint64 {
+	if n.crng == 0 {
+		n.crng = n.CorruptSeed
+		if n.crng == 0 {
+			n.crng = 0x7F4A7C15F39CC060
+		}
+	}
+	n.crng ^= n.crng << 13
+	n.crng ^= n.crng >> 7
+	n.crng ^= n.crng << 17
+	return n.crng % (nbytes * 8)
 }
 
 // MMIORead implements machine.MMIOHandler.

@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+
+	"rcoe/internal/exp"
+	"rcoe/internal/harness"
+	"rcoe/internal/machine"
+)
+
+// HardCampaignOptions configures the hard-fault characterization study:
+// the KV workload run under every selected fault class, with outcomes
+// tallied per class for the SDC / detected-corrected / detected-
+// uncorrected / masked taxonomy.
+type HardCampaignOptions struct {
+	// KV is the benchmark system under test. Replication mode, masking,
+	// and structural decorrelation all ride on KV.System.
+	KV harness.KVOptions
+	// Classes selects the fault models; empty selects all.
+	Classes []FaultClass
+	// TrialsPerClass is the number of independent injection runs per class.
+	TrialsPerClass int
+	// TargetAllReplicas widens the memory-fault target from the primary's
+	// user memory to every replica's (the Arm-study variant).
+	TargetAllReplicas bool
+	// InjectAfterCycles delays point injections (transient, stuck-at,
+	// burst) past system warm-up so faults land during service, not boot.
+	InjectAfterCycles uint64
+	// FaultEveryCycles is the injection period for the point classes; a
+	// trial keeps injecting until something observable happens or the
+	// workload completes (default 2_000, the aggressive Table VII rate).
+	FaultEveryCycles uint64
+	// MaxFaults bounds the injections per trial for transient and burst
+	// (default 4_000). Stuck-at trials accumulate permanent faults from
+	// boot, capped at 128 stuck bits — a manufacturing-defect/aging
+	// model that also bounds the per-access assertion cost.
+	MaxFaults int
+	// Seed makes the whole campaign deterministic.
+	Seed uint64
+	// Context, when set, cancels the campaign between trials.
+	Context context.Context
+	// Workers overrides the engine's host worker-pool size (0 = default).
+	Workers int
+	// Progress, when set, is called after each class's trials finish with
+	// the number of classes done so far. It runs on the caller's
+	// goroutine, between engine runs, so it may write to stderr freely.
+	Progress func(class FaultClass, done, total int)
+}
+
+// burstBits is the number of bit flips a burst injection lands within one
+// 64-byte line — the correlated multi-bit model of §V-C3.
+const burstBits = 4
+
+// deviceCorruptEvery corrupts every Nth NIC RX frame in device-class
+// trials: frequent enough to hit short runs, sparse enough that most
+// requests survive to exercise the full pipeline.
+const deviceCorruptEvery = 3
+
+// intermittentFaults is the number of independent duty-cycled faults an
+// intermittent-class trial arms; one marginal cell rarely lands in live
+// state, a population models a marginal rank.
+const intermittentFaults = 64
+
+// HardCampaign runs TrialsPerClass injection trials for each selected
+// class and tallies outcomes per class. Trials fan out across host cores
+// on the experiment engine; per-trial seeds come from a pre-engine
+// xorshift chain off the campaign seed, so the tallies are identical at
+// any worker count.
+func HardCampaign(opts HardCampaignOptions) (map[FaultClass]*Tally, error) {
+	classes := opts.Classes
+	if len(classes) == 0 {
+		classes = AllClasses()
+	}
+	if opts.TrialsPerClass == 0 {
+		opts.TrialsPerClass = 20
+	}
+	r := newRNG(opts.Seed)
+	out := make(map[FaultClass]*Tally, len(classes))
+	for ci, class := range classes {
+		jobs := make([]exp.Job[TrialResult], opts.TrialsPerClass)
+		for i := range jobs {
+			class := class
+			jobs[i] = exp.Job[TrialResult]{
+				Name: fmt.Sprintf("%s-trial[%d]", class, i),
+				Seed: r.next(),
+				Run: func(_ context.Context, seed uint64) (TrialResult, error) {
+					return HardTrial(opts, class, seed)
+				},
+			}
+		}
+		results, err := exp.Run(exp.Options{Workers: opts.Workers, Context: opts.Context}, jobs)
+		if err != nil {
+			return nil, err
+		}
+		trials, err := exp.Values(results)
+		if err != nil {
+			return nil, err
+		}
+		tally := NewTally()
+		for _, res := range trials {
+			tally.Add(res.Outcome, res.Injected)
+		}
+		out[class] = tally
+		if opts.Progress != nil {
+			opts.Progress(class, ci+1, len(classes))
+		}
+	}
+	return out, nil
+}
+
+// maxStuckBits caps a stuck-at trial's accumulated permanent faults.
+const maxStuckBits = 128
+
+// HardTrial performs one injection run for the given fault class: drive
+// the KV workload, arm or inject the fault, and classify the first
+// observable consequence. Standing faults (intermittent, device) are
+// armed before the first step so their internal clocks are deterministic
+// functions of the trial seed; point faults (transient, stuck-at, burst)
+// inject periodically after the warm-up window.
+func HardTrial(opts HardCampaignOptions, class FaultClass, seed uint64) (TrialResult, error) {
+	if opts.InjectAfterCycles == 0 {
+		opts.InjectAfterCycles = 200_000
+	}
+	if opts.FaultEveryCycles == 0 {
+		opts.FaultEveryCycles = 2_000
+	}
+	if opts.MaxFaults == 0 {
+		opts.MaxFaults = 4_000
+	}
+	kv := opts.KV
+	kv.Seed = seed | 1
+	run, err := harness.NewKV(kv)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	r := newRNG(seed)
+	mem := run.Sys.Machine().Mem()
+	regions := targetRegions(run.Sys, opts.TargetAllReplicas, false)
+	var injected uint64
+
+	switch class {
+	case ClassIntermittent:
+		for i := 0; i < intermittentFaults; i++ {
+			addr, bit := pickTarget(r, regions)
+			run.Sys.Machine().AddDevice(&machine.IntermittentFault{
+				Addr: addr, Bit: bit, Value: uint(r.next() & 1),
+				OnCycles: 40_000, OffCycles: 40_000,
+				Seed: r.next() | 1,
+			})
+			injected++
+		}
+	case ClassDevice:
+		run.NIC.CorruptRxEvery = deviceCorruptEvery
+		run.NIC.CorruptSeed = r.next() | 1
+	}
+	// count reports total injections so far; device-class corruption
+	// happens inside the NIC, so the NIC's own counter is authoritative.
+	count := func() uint64 {
+		if class == ClassDevice {
+			return run.NIC.RxCorrupted
+		}
+		return injected
+	}
+
+	// Point classes inject on a period. Stuck-at bits accumulate from
+	// boot — the manufacturing-defect/aging model — and cap the total,
+	// since each stuck bit persists for the rest of the trial and taxes
+	// every access to its range.
+	pointClass := class == ClassTransient || class == ClassStuckAt || class == ClassBurst
+	period := opts.FaultEveryCycles
+	maxFaults := opts.MaxFaults
+	if class == ClassStuckAt && maxFaults > maxStuckBits {
+		maxFaults = maxStuckBits
+	}
+	step := period
+	if !pointClass {
+		step = 25_000
+	}
+
+	deadline := run.Sys.Machine().Now() + kvTrialBudget(kv)
+	injectAt := run.Sys.Machine().Now() + opts.InjectAfterCycles
+	if class == ClassStuckAt {
+		injectAt = run.Sys.Machine().Now()
+	}
+	faults := 0
+	for !run.Done() {
+		if halted, _ := run.Sys.Halted(); halted {
+			break
+		}
+		if run.Sys.Machine().Now() > deadline {
+			break
+		}
+		run.StepChunk(step)
+		if pointClass && faults < maxFaults && run.Sys.Machine().Now() >= injectAt {
+			faults++
+			addr, bit := pickTarget(r, regions)
+			switch class {
+			case ClassTransient:
+				if err := mem.FlipBit(addr, bit); err == nil {
+					injected++
+				}
+			case ClassStuckAt:
+				if err := mem.SetStuck(addr, bit, uint(r.next()&1)); err == nil {
+					injected++
+				}
+			case ClassBurst:
+				for b := 0; b < burstBits; b++ {
+					a := addr + r.intn(64)
+					if err := mem.FlipBit(a, uint(r.next()&7)); err == nil {
+						injected++
+					}
+				}
+			}
+		}
+		if out, decided := classify(run); decided {
+			return TrialResult{Outcome: graceClassify(run, out), Injected: count()}, nil
+		}
+	}
+	if out, decided := classify(run); decided {
+		return TrialResult{Outcome: graceClassify(run, out), Injected: count()}, nil
+	}
+	if !run.Done() {
+		return TrialResult{Outcome: OutcomeYCSBError, Injected: count()}, nil
+	}
+	return TrialResult{Outcome: OutcomeNone, Injected: count()}, nil
+}

@@ -101,7 +101,7 @@ func MemTrial(opts MemCampaignOptions, seed uint64) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
-	regions := targetRegions(run.Sys, opts)
+	regions := targetRegions(run.Sys, opts.TargetAllReplicas, opts.IncludeDMA)
 	r := newRNG(seed)
 	mem := run.Sys.Machine().Mem()
 	var injected uint64
@@ -149,7 +149,7 @@ func kvTrialBudget(kv harness.KVOptions) uint64 {
 
 // targetRegions builds the injection target list, mirroring the paper's
 // two study variants (§V-C1).
-func targetRegions(sys *core.System, opts MemCampaignOptions) []Region {
+func targetRegions(sys *core.System, targetAll, includeDMA bool) []Region {
 	var regions []Region
 	shBase, shSize := core.SharedRegion()
 	regions = append(regions, Region{Name: "shared", Base: shBase, Size: shSize})
@@ -158,13 +158,13 @@ func targetRegions(sys *core.System, opts MemCampaignOptions) []Region {
 		regions = append(regions, Region{
 			Name: "kernel", Base: lay.Base, Size: lay.UserPA() - lay.Base,
 		})
-		if opts.TargetAllReplicas || rid == sys.Primary() {
+		if targetAll || rid == sys.Primary() {
 			regions = append(regions, Region{
 				Name: "user", Base: lay.UserPA(), Size: lay.UserSize(),
 			})
 		}
 	}
-	if opts.IncludeDMA {
+	if includeDMA {
 		dmaBase, dmaSize := core.DMARegion()
 		regions = append(regions, Region{Name: "dma", Base: dmaBase, Size: dmaSize})
 	}

@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"testing"
+
+	"rcoe/internal/core"
+)
+
+// TestSurvivalTMRMaskingSurvives: a masking TMR votes the permanently
+// faulty replica out and completes the workload — the availability
+// argument for n=3 against hard faults.
+func TestSurvivalTMRMaskingSurvives(t *testing.T) {
+	res, err := SurvivalTrial(SurvivalOptions{
+		System:        core.Config{Mode: core.ModeLC, Replicas: 3, Masking: true},
+		FaultyReplica: 2,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Survived {
+		t.Fatalf("masking TMR did not survive a permanent fault: %+v", res)
+	}
+	if res.Removals == 0 {
+		t.Fatalf("no ejection happened; the fault was never detected: %+v", res)
+	}
+	if res.StuckBits == 0 {
+		t.Fatalf("stuck bit disappeared — permanence broken")
+	}
+}
+
+// TestSurvivalDMRFailStops: the same permanent fault under DMR can only be
+// detected, not outvoted — the system fail-stops instead of serving on.
+func TestSurvivalDMRFailStops(t *testing.T) {
+	res, err := SurvivalTrial(SurvivalOptions{
+		System:        core.Config{Mode: core.ModeLC, Replicas: 2},
+		FaultyReplica: 1,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survived {
+		t.Fatalf("plain DMR claimed to survive a permanent fault: %+v", res)
+	}
+	if res.HaltReason == "" {
+		t.Fatalf("DMR stopped without a halt reason: %+v", res)
+	}
+}
+
+// TestSurvivalReintegrationFutile is the property that distinguishes hard
+// faults from transients: re-integrating the ejected replica copies fresh
+// state over the stuck bit, the bit re-asserts, the replica re-diverges,
+// and the system ejects it a second time — while still completing the
+// workload.
+func TestSurvivalReintegrationFutile(t *testing.T) {
+	res, err := SurvivalTrial(SurvivalOptions{
+		System:        core.Config{Mode: core.ModeLC, Replicas: 3, Masking: true},
+		FaultyReplica: 2,
+		Seed:          9,
+		Reintegrate:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Survived {
+		t.Fatalf("TMR did not survive the futile re-integration cycle: %+v", res)
+	}
+	if res.Reintegrations == 0 {
+		t.Fatalf("re-integration never completed: %+v", res)
+	}
+	if res.Removals < 2 {
+		t.Fatalf("re-integrated replica was not re-ejected (removals=%d): %+v",
+			res.Removals, res)
+	}
+	if res.StuckBits == 0 {
+		t.Fatalf("stuck bit vanished across re-integration")
+	}
+}

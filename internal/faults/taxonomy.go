@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FaultClass enumerates the injected fault models of the hard-fault
+// characterization study. The memory campaign (Tables VII/IX) covers the
+// transient and burst classes against the paper's setup; the remaining
+// classes extend the model to permanent, marginal, and device-level
+// hardware faults.
+type FaultClass int
+
+// Fault classes.
+const (
+	// ClassTransient is a single bit flip — the SEU model of Table VII.
+	ClassTransient FaultClass = iota + 1
+	// ClassStuckAt is a permanent stuck-at bit: re-asserted on every
+	// access, surviving all overwrites (machine.Mem.SetStuck).
+	ClassStuckAt
+	// ClassBurst flips several bits within one cache line at once — the
+	// overclocking-style correlated fault of Table IX.
+	ClassBurst
+	// ClassIntermittent is a duty-cycled stuck bit: present during seeded
+	// ON phases, absent otherwise (machine.IntermittentFault).
+	ClassIntermittent
+	// ClassDevice corrupts NIC RX frames during DMA — outside the sphere
+	// of replication, where voting cannot reach (§III-E's residual
+	// vulnerability).
+	ClassDevice
+)
+
+var classNames = map[FaultClass]string{
+	ClassTransient:    "transient",
+	ClassStuckAt:      "stuck-at",
+	ClassBurst:        "burst",
+	ClassIntermittent: "intermittent",
+	ClassDevice:       "device",
+}
+
+// String returns the class name.
+func (c FaultClass) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// AllClasses returns every fault class in presentation order.
+func AllClasses() []FaultClass {
+	return []FaultClass{ClassTransient, ClassStuckAt, ClassBurst, ClassIntermittent, ClassDevice}
+}
+
+// ParseClasses parses a comma-separated class list ("stuck-at,burst");
+// "all" or "" selects every class.
+func ParseClasses(s string) ([]FaultClass, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return AllClasses(), nil
+	}
+	byName := make(map[string]FaultClass, len(classNames))
+	for c, n := range classNames {
+		byName[n] = c
+	}
+	var out []FaultClass
+	for _, part := range strings.Split(s, ",") {
+		c, ok := byName[strings.TrimSpace(part)]
+		if !ok {
+			names := make([]string, 0, len(byName))
+			for n := range byName {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("faults: unknown fault class %q (known: %s, all)",
+				strings.TrimSpace(part), strings.Join(names, ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Category is the dependability-taxonomy bucket of a trial outcome: the
+// SDC / detected-corrected / detected-uncorrected / masked breakdown the
+// characterization tables report.
+type Category int
+
+// Categories.
+const (
+	// CategorySDC: corrupt state escaped to the client with no detection —
+	// silent data corruption, the outcome redundant execution exists to
+	// prevent.
+	CategorySDC Category = iota + 1
+	// CategoryDetectedCorrected: the fault was detected AND the system
+	// continued service (a masking TMR voted the faulty replica out).
+	CategoryDetectedCorrected
+	// CategoryDetectedUncorrected: the fault was detected but the system
+	// could only fail-stop (DMR divergence, kernel exception, barrier
+	// timeout without masking).
+	CategoryDetectedUncorrected
+	// CategoryMasked: no observable effect within the trial budget — the
+	// fault was architecturally or logically masked (dead memory, already-
+	// consumed state).
+	CategoryMasked
+)
+
+var categoryNames = map[Category]string{
+	CategorySDC:                 "sdc",
+	CategoryDetectedCorrected:   "detected-corrected",
+	CategoryDetectedUncorrected: "detected-uncorrected",
+	CategoryMasked:              "masked",
+}
+
+// String returns the category name.
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// AllCategories returns every category in presentation order.
+func AllCategories() []Category {
+	return []Category{CategorySDC, CategoryDetectedCorrected, CategoryDetectedUncorrected, CategoryMasked}
+}
+
+// Categorize maps a trial outcome onto the taxonomy. OutcomeMasked (the
+// system voted a replica out and kept serving) is the corrected case;
+// other controlled detections stopped the system; every uncontrolled
+// observable outcome reached the client as SDC.
+func Categorize(o Outcome) Category {
+	switch {
+	case o == OutcomeNone:
+		return CategoryMasked
+	case o == OutcomeMasked:
+		return CategoryDetectedCorrected
+	case o.Controlled():
+		return CategoryDetectedUncorrected
+	default:
+		return CategorySDC
+	}
+}
+
+// Categories folds the tally's outcome counts into taxonomy buckets.
+func (t *Tally) Categories() map[Category]uint64 {
+	out := make(map[Category]uint64)
+	for o, n := range t.Counts {
+		out[Categorize(o)] += n
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOutcomeStringUnknown(t *testing.T) {
+	if got := Outcome(0).String(); got != "outcome(0)" {
+		t.Fatalf("zero outcome = %q", got)
+	}
+	if got := Outcome(99).String(); got != "outcome(99)" {
+		t.Fatalf("unknown outcome = %q", got)
+	}
+	// Every defined outcome has a proper name, not the fallback.
+	for o := OutcomeNone; o <= OutcomeMasked; o++ {
+		if got := o.String(); len(got) == 0 || got[0] == 'o' && got[1] == 'u' {
+			t.Fatalf("outcome %d missing name: %q", int(o), got)
+		}
+	}
+}
+
+func TestFaultClassAndCategoryStrings(t *testing.T) {
+	for _, c := range AllClasses() {
+		if got := c.String(); got == "" || got[0] == 'c' && got[1] == 'l' {
+			t.Fatalf("class %d missing name: %q", int(c), got)
+		}
+	}
+	if got := FaultClass(42).String(); got != "class(42)" {
+		t.Fatalf("unknown class = %q", got)
+	}
+	for _, c := range AllCategories() {
+		if got := c.String(); got == "" || len(got) > 6 && got[:6] == "catego" {
+			t.Fatalf("category %d missing name: %q", int(c), got)
+		}
+	}
+	if got := Category(0).String(); got != "category(0)" {
+		t.Fatalf("unknown category = %q", got)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	for _, sel := range []string{"", "all", " all "} {
+		got, err := ParseClasses(sel)
+		if err != nil || len(got) != len(AllClasses()) {
+			t.Fatalf("ParseClasses(%q) = %v, %v", sel, got, err)
+		}
+	}
+	got, err := ParseClasses("stuck-at, burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ClassStuckAt || got[1] != ClassBurst {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := ParseClasses("transient,bogus"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	cases := map[Outcome]Category{
+		OutcomeNone:              CategoryMasked,
+		OutcomeMasked:            CategoryDetectedCorrected,
+		OutcomeSignatureMismatch: CategoryDetectedUncorrected,
+		OutcomeBarrierTimeout:    CategoryDetectedUncorrected,
+		OutcomeKernelException:   CategoryDetectedUncorrected,
+		OutcomeYCSBCorruption:    CategorySDC,
+		OutcomeYCSBError:         CategorySDC,
+		OutcomeUserMemFault:      CategorySDC,
+		OutcomeOtherUserFault:    CategorySDC,
+	}
+	for o, want := range cases {
+		if got := Categorize(o); got != want {
+			t.Fatalf("Categorize(%v) = %v, want %v", o, got, want)
+		}
+	}
+}
+
+func TestTallyZeroTrials(t *testing.T) {
+	tally := NewTally()
+	if tally.Observed() != 0 || tally.Controlled() != 0 || tally.Uncontrolled() != 0 {
+		t.Fatalf("empty tally reports trials: %+v", tally)
+	}
+	if cats := tally.Categories(); len(cats) != 0 {
+		t.Fatalf("empty tally has categories: %v", cats)
+	}
+}
+
+func TestTallyOverflowAdjacent(t *testing.T) {
+	tally := NewTally()
+	tally.Add(OutcomeNone, math.MaxUint64-1)
+	tally.Add(OutcomeSignatureMismatch, 1)
+	if tally.Injected != math.MaxUint64 {
+		t.Fatalf("injected = %d, want MaxUint64", tally.Injected)
+	}
+	if tally.Counts[OutcomeNone] != 1 || tally.Counts[OutcomeSignatureMismatch] != 1 {
+		t.Fatalf("counts = %v", tally.Counts)
+	}
+}
+
+func TestTallyCategoriesFold(t *testing.T) {
+	tally := NewTally()
+	tally.Add(OutcomeNone, 0)
+	tally.Add(OutcomeNone, 0)
+	tally.Add(OutcomeMasked, 1)
+	tally.Add(OutcomeBarrierTimeout, 1)
+	tally.Add(OutcomeYCSBCorruption, 1)
+	cats := tally.Categories()
+	want := map[Category]uint64{
+		CategoryMasked:              2,
+		CategoryDetectedCorrected:   1,
+		CategoryDetectedUncorrected: 1,
+		CategorySDC:                 1,
+	}
+	for c, n := range want {
+		if cats[c] != n {
+			t.Fatalf("category %v = %d, want %d (all: %v)", c, cats[c], n, cats)
+		}
+	}
+}

@@ -56,7 +56,8 @@ func exitWith(b *asm.Builder, code int32) {
 	b.Syscall(kernel.SysExit)
 }
 
-// dataPtr emits a load of the data-region base address into rd.
+// dataPtr emits a load of the data-region base address into rd, as a
+// relocatable literal so decorrelated layouts shift it per replica.
 func dataPtr(b *asm.Builder, rd uint8) {
-	b.Li64(rd, kernel.DataVA)
+	b.LiVA(rd, kernel.DataVA)
 }

@@ -40,6 +40,7 @@ func buildSystem(t *testing.T, cfg core.Config, p Program) *core.System {
 	}
 	if err := sys.Load(kernel.ProcessConfig{
 		Prog: prog, DataBytes: p.DataBytes, Data: p.Data, Arg: p.Arg, Stacks: p.Stacks,
+		Relocs: b.Relocs(),
 	}); err != nil {
 		t.Fatal(err)
 	}

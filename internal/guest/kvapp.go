@@ -116,10 +116,10 @@ func buildKVApp(cfg KVConfig) *asm.Builder {
 	b := asm.New()
 	dataPtr(b, rBase)
 	b.Mov(kvTotal, isa.RArg0) // Arg carried the request target
-	b.Li64(kvReq, kernel.DataVA+kvReqBufOff)
-	b.Li64(kvResp, kernel.DataVA+kvRespBufOff)
-	b.Li64(kvTab, kernel.DataVA+kvTableOff)
-	b.Li64(kvTEnd, kernel.DataVA+kvTableOff+cfg.Slots*kvSlotSize)
+	b.LiVA(kvReq, kernel.DataVA+kvReqBufOff)
+	b.LiVA(kvResp, kernel.DataVA+kvRespBufOff)
+	b.LiVA(kvTab, kernel.DataVA+kvTableOff)
+	b.LiVA(kvTEnd, kernel.DataVA+kvTableOff+cfg.Slots*kvSlotSize)
 	b.Li(kvDone, 0)
 	if cfg.Driver == DriverLC {
 		b.Syscall(kernel.SysMapShared)
@@ -253,7 +253,7 @@ const (
 func ftRead(b *asm.Builder, pa uint64, va uint64, size int32) {
 	b.Li(isa.RArg0, 0)
 	b.Li64(isa.RArg1, pa)
-	b.Li64(isa.RArg2, va)
+	b.LiVA(isa.RArg2, va)
 	b.Li(isa.RArg3, size)
 	b.Syscall(kernel.SysFTMemAccess)
 }
@@ -262,7 +262,7 @@ func ftRead(b *asm.Builder, pa uint64, va uint64, size int32) {
 func ftWrite(b *asm.Builder, pa uint64, va uint64, size int32) {
 	b.Li(isa.RArg0, 1)
 	b.Li64(isa.RArg1, pa)
-	b.Li64(isa.RArg2, va)
+	b.LiVA(isa.RArg2, va)
 	b.Li(isa.RArg3, size)
 	b.Syscall(kernel.SysFTMemAccess)
 }
@@ -280,7 +280,7 @@ func buildCCInput(b *asm.Builder, cfg KVConfig) {
 	// Read the frame: the size is dynamic, so load it into R4 directly.
 	b.Li(isa.RArg0, 0)
 	b.Li64(isa.RArg1, cfg.RxDataPA)
-	b.Li64(isa.RArg2, kernel.DataVA+kvReqBufOff)
+	b.LiVA(isa.RArg2, kernel.DataVA+kvReqBufOff)
 	b.Mov(isa.RArg3, kvS1)
 	b.Syscall(kernel.SysFTMemAccess)
 	// Release the mailbox.
@@ -295,7 +295,7 @@ func buildCCOutput(b *asm.Builder, cfg KVConfig) {
 	b.Ld(8, kvS1, rBase, kvRespLenOff)
 	b.Li(isa.RArg0, 1)
 	b.Li64(isa.RArg1, cfg.TxDataPA)
-	b.Li64(isa.RArg2, kernel.DataVA+kvRespBufOff)
+	b.LiVA(isa.RArg2, kernel.DataVA+kvRespBufOff)
 	b.Mov(isa.RArg3, kvS1)
 	b.Syscall(kernel.SysFTMemAccess)
 	b.Li(kvS1, 1)

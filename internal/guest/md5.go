@@ -169,7 +169,7 @@ func buildMD5(blocks int) *asm.Builder {
 	b.St(4, rBase, rD0, md5DigestOff+12)
 	// Contribute the digest to the state signature: the voting analogue
 	// of md5sum printing its result.
-	b.Li64(isa.RArg0, kernel.DataVA+md5DigestOff)
+	b.LiVA(isa.RArg0, kernel.DataVA+md5DigestOff)
 	b.Li(isa.RArg1, 16)
 	b.Syscall(kernel.SysFTAddTrace)
 	exitWith(b, 0)

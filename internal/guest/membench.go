@@ -97,7 +97,7 @@ func DataRace(threads int, iters, idleLoops int64) Program {
 			b.Bge(rT0, rT1, "spawned")
 			b.LiLabel(1, "worker") // R1 = entry
 			// R2 = stack top for worker i: StackTopVA - i*StackSize.
-			b.Li64(rT2, kernel.StackTopVA)
+			b.LiVA(rT2, kernel.StackTopVA)
 			b.Shli(rT3, rT0, 16) // i * 64 KiB
 			b.Sub(2, rT2, rT3)
 			b.Mov(3, rT0) // R3 = arg (thread index)
@@ -150,7 +150,7 @@ func AtomicCounter(threads int, iters int64) Program {
 			b.Label("spawn_loop")
 			b.Bge(rT0, rT1, "spawned")
 			b.LiLabel(1, "worker")
-			b.Li64(rT2, kernel.StackTopVA)
+			b.LiVA(rT2, kernel.StackTopVA)
 			b.Shli(rT3, rT0, 16)
 			b.Sub(2, rT2, rT3)
 			b.Mov(3, rT0)
@@ -166,7 +166,7 @@ func AtomicCounter(threads int, iters int64) Program {
 			b.Li(rCnt, 0)
 			b.Li64(rEnd, uint64(iters))
 			b.Label("iter")
-			b.Li64(1, kernel.DataVA) // R1 = counter VA
+			b.LiVA(1, kernel.DataVA) // R1 = counter VA
 			b.Li(2, 1)               // R2 = delta
 			b.Syscall(kernel.SysAtomicAdd)
 			b.Addi(rCnt, rCnt, 1)

@@ -64,7 +64,7 @@ func (k SplashKernel) Program(nproc int) Program {
 			b.Label("spawn")
 			b.Bge(rT0, rT1, "go")
 			b.LiLabel(1, "worker")
-			b.Li64(rT2, kernel.StackTopVA)
+			b.LiVA(rT2, kernel.StackTopVA)
 			b.Shli(rT3, rT0, 16)
 			b.Sub(2, rT2, rT3)
 			b.Mov(3, rT0)

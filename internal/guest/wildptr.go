@@ -1,0 +1,73 @@
+package guest
+
+import (
+	"rcoe/internal/asm"
+	"rcoe/internal/isa"
+	"rcoe/internal/kernel"
+)
+
+// WildPointer is the decorrelation regression guest: a deterministic
+// software bug that bit-identical replicas mask and structurally
+// decorrelated replicas detect.
+//
+// The program fills a table with position-dependent values, then performs
+// one wild store through an absolute address literal that (deliberately)
+// escaped relocation — the classic hard-coded-pointer bug. It finally
+// checksums the whole table and exits with the sum, which the kernel
+// folds into the vote signature.
+//
+// Correlated replicas place the table identically, so the wild store
+// corrupts the same slot in all of them: every checksum is equally wrong,
+// the vote is unanimous, and the corruption escapes as SDC. Decorrelated
+// replicas hold the table at shifted bases, so the same absolute address
+// lands on a *different* slot in each; the checksums diverge and the exit
+// vote detects what voting alone cannot.
+//
+// The wild address sits kernel.MaxLayoutShift past the table base, so it
+// stays inside the (shifted) data segment for every legal layout delta —
+// the corruption is always silent at store time, never a memory fault.
+func WildPointer() Program {
+	const (
+		wildOff    = kernel.MaxLayoutShift + 0x1000
+		tableBytes = wildOff + 0x1000
+	)
+	return Program{
+		Name:      "wildptr",
+		DataBytes: tableBytes,
+		Build: func() *asm.Builder {
+			b := asm.New()
+			dataPtr(b, rBase)
+			// Fill: slot at byte offset o holds o*phi+1, so every slot is
+			// distinct and corrupting different slots changes the checksum
+			// by different amounts.
+			b.Li(rT0, 0)
+			b.Li64(rT1, uint64(tableBytes))
+			b.Li64(rT2, 0x9E3779B9)
+			b.Label("fill")
+			b.Mul(rT3, rT0, rT2)
+			b.Addi(rT3, rT3, 1)
+			b.Add(rT4, rBase, rT0)
+			b.St(8, rT4, rT3, 0)
+			b.Addi(rT0, rT0, 8)
+			b.Blt(rT0, rT1, "fill")
+			// The bug: an absolute data address via Li64, not LiVA, so the
+			// loader cannot shift it with the rest of the layout.
+			b.Li64(rT5, uint64(kernel.DataVA+wildOff))
+			b.Li64(rT6, 0xDEADBEEFCAFEF00D)
+			b.St(8, rT5, rT6, 0)
+			// Checksum the table and exit with the sum; sysExit folds the
+			// code into the signature, where replicas vote on it.
+			b.Li(rT0, 0)
+			b.Li(rT7, 0)
+			b.Label("sum")
+			b.Add(rT4, rBase, rT0)
+			b.Ld(8, rT3, rT4, 0)
+			b.Add(rT7, rT7, rT3)
+			b.Addi(rT0, rT0, 8)
+			b.Blt(rT0, rT1, "sum")
+			b.Mov(isa.RArg0, rT7)
+			b.Syscall(kernel.SysExit)
+			return b
+		},
+	}
+}

@@ -1,0 +1,91 @@
+package guest
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/kernel"
+)
+
+const wildOff = kernel.MaxLayoutShift + 0x1000
+
+// TestWildPointerCorrelatedMasks pins the failure mode decorrelation
+// exists to fix: bit-identical TMR replicas all corrupt the same table
+// slot through the wild store, every checksum is equally wrong, and the
+// run finishes with a unanimous vote — silent data corruption.
+func TestWildPointerCorrelatedMasks(t *testing.T) {
+	sys := buildSystem(t, core.Config{
+		Mode: core.ModeLC, Replicas: 3, TickCycles: 10000,
+	}, WildPointer())
+	if err := sys.Run(2_000_000_000); err != nil {
+		t.Fatalf("correlated run: %v (detections=%v)", err, sys.Detections())
+	}
+	if !sys.Finished() {
+		t.Fatal("correlated run did not finish")
+	}
+	if n := len(sys.Detections()); n != 0 {
+		t.Fatalf("correlated replicas detected the wild store: %v", sys.Detections())
+	}
+	// The corruption really happened — it was masked, not absent.
+	got := binary.LittleEndian.Uint64(readData(t, sys, 0, wildOff, 8))
+	if got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("wild slot = %#x, want the wild store's value", got)
+	}
+}
+
+// TestWildPointerDecorrelatedDetects is the tentpole property: the same
+// program under structurally decorrelated layouts corrupts a different
+// slot in each replica, the checksums diverge, and the exit vote detects
+// what correlated voting masked.
+func TestWildPointerDecorrelatedDetects(t *testing.T) {
+	sys := buildSystem(t, core.Config{
+		Mode: core.ModeLC, Replicas: 3, TickCycles: 10000,
+		Decorrelate: true,
+	}, WildPointer())
+	err := sys.Run(2_000_000_000)
+	if len(sys.Detections()) == 0 {
+		t.Fatalf("decorrelated replicas did not detect the wild store (err=%v, finished=%v)",
+			err, sys.Finished())
+	}
+	var sig bool
+	for _, d := range sys.Detections() {
+		if d.Kind == core.DetectSignatureMismatch || d.Kind == core.DetectVoteInconclusive {
+			sig = true
+		}
+	}
+	if !sig {
+		t.Fatalf("no signature mismatch among detections: %v", sys.Detections())
+	}
+}
+
+// TestDecorrelatedCleanRuns verifies the canonicalization contract: with
+// no fault injected, decorrelated replicas vote clean across workloads
+// that exercise every pointer-carrying syscall position — spawns (stack
+// pointers), atomic adds (data pointers), and plain compute — in both LC
+// and CC modes.
+func TestDecorrelatedCleanRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+		p    Program
+	}{
+		{"lc-tmr-atomic", core.Config{Mode: core.ModeLC, Replicas: 3, TickCycles: 10000, Decorrelate: true},
+			AtomicCounter(3, 150)},
+		{"lc-dmr-seeded", core.Config{Mode: core.ModeLC, Replicas: 2, TickCycles: 10000, Decorrelate: true, LayoutSeed: 7},
+			Dhrystone(1000)},
+		{"cc-dmr", core.Config{Mode: core.ModeCC, Replicas: 2, TickCycles: 10000, Decorrelate: true},
+			Dhrystone(1000)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := runSystem(t, tc.cfg, tc.p, 1_000_000_000)
+			if !sys.Finished() {
+				t.Fatal("did not finish")
+			}
+			if n := len(sys.Detections()); n != 0 {
+				t.Fatalf("false detections under decorrelation: %v", sys.Detections())
+			}
+		})
+	}
+}

@@ -190,6 +190,7 @@ func NewKV(opts KVOptions) (*KVRun, error) {
 	sys.RegisterDeviceWindow(0, nicMMIOBase, device.NICWindowSize)
 	if err := sys.Load(kernel.ProcessConfig{
 		Prog: prog, DataBytes: p.DataBytes, Arg: p.Arg, Stacks: p.Stacks,
+		Relocs: b.Relocs(),
 	}); err != nil {
 		return nil, err
 	}

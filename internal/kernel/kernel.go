@@ -56,6 +56,11 @@ type Kernel struct {
 
 	as *machine.AddrSpace // the (single) user process address space
 
+	// layoutDelta is this replica's structural-decorrelation shift of the
+	// data and stack segments (loader.go). CanonVA subtracts it so the
+	// vote path folds layout-independent values.
+	layoutDelta uint64
+
 	// canary is the expected kernel-text pattern checked on entries.
 	canaryWords [8]uint64
 
@@ -491,5 +496,31 @@ func (k *Kernel) CloneFrom(donor *Kernel) error {
 		segs[i] = s
 	}
 	k.as = &machine.AddrSpace{Segs: segs}
+	// The donor's whole partition image is copied verbatim (virtual bases
+	// included), so the re-integrated replica runs the donor's layout.
+	k.layoutDelta = donor.layoutDelta
 	return nil
+}
+
+// LayoutDelta returns the replica's structural-decorrelation shift.
+func (k *Kernel) LayoutDelta() uint64 { return k.layoutDelta }
+
+// CanonVA maps a user virtual address back to the canonical (unshifted)
+// layout, so decorrelated replicas fold identical values into their vote
+// signatures for the same logical pointer. Only addresses inside the
+// shifted window — data base through stack top, as moved by the delta —
+// are adjusted; text, shared-region, and device addresses are identical
+// across replicas already. Callers must apply this only to values that
+// are pointers by contract (a known syscall argument position, a fault
+// address): canonicalizing arbitrary data that merely looks like a
+// pointer would itself diverge across replicas.
+func (k *Kernel) CanonVA(va uint64) uint64 {
+	d := k.layoutDelta
+	if d == 0 {
+		return va
+	}
+	if va >= DataVA+d && va <= StackTopVA+d {
+		return va - d
+	}
+	return va
 }

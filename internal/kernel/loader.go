@@ -21,7 +21,31 @@ type ProcessConfig struct {
 	Arg uint64
 	// Stacks is the number of thread stacks to reserve (minimum 1).
 	Stacks int
+	// Relocs lists the indices of instructions in Prog whose Imm is a
+	// user-space virtual-address literal (asm.Builder.Relocs). When
+	// LayoutDelta is non-zero, the loader adds the delta to each before
+	// writing the image, so the program addresses its shifted segments.
+	Relocs []int
+	// LayoutDelta shifts the data and stack segments' virtual bases by a
+	// page-aligned amount — per-replica structural decorrelation. Text is
+	// never shifted: instruction pointers stay comparable across replicas,
+	// which CC's logical-time comparison requires. Must stay within
+	// MaxLayoutShift so relocated literals keep clear of the text window
+	// and the imm32 range.
+	LayoutDelta uint64
+	// PhysPad inserts a page-aligned gap between text and the rest of the
+	// image, and PhysSwap places the stacks before the data region —
+	// together they decorrelate the *physical* placement, so a physical
+	// fault at the same partition offset hits different program state in
+	// each replica.
+	PhysPad  uint64
+	PhysSwap bool
 }
+
+// MaxLayoutShift bounds ProcessConfig.LayoutDelta. It keeps every shifted
+// address inside the user window and gives decorrelation-aware guests a
+// constant to size wild-pointer test regions against.
+const MaxLayoutShift = 0x80000
 
 // LoadProcess writes the program into the replica's partition, builds the
 // user address space, and creates the main thread.
@@ -35,19 +59,52 @@ func (k *Kernel) LoadProcess(cfg ProcessConfig) error {
 	if cfg.Stacks > MaxThreads {
 		return fmt.Errorf("kernel: %d stacks exceeds MaxThreads", cfg.Stacks)
 	}
-	img := isa.EncodeProgram(cfg.Prog)
+	delta := cfg.LayoutDelta
+	if delta%0x1000 != 0 || delta > MaxLayoutShift {
+		return fmt.Errorf("kernel: layout delta %#x not page-aligned or beyond MaxLayoutShift", delta)
+	}
+	prog := cfg.Prog
+	if delta != 0 && len(cfg.Relocs) > 0 {
+		// Patch the relocatable address literals against a copy: the
+		// caller shares cfg.Prog across replicas with different deltas.
+		prog = append([]isa.Instr(nil), cfg.Prog...)
+		for _, idx := range cfg.Relocs {
+			if idx < 0 || idx >= len(prog) || prog[idx].Op != isa.OpLi {
+				return fmt.Errorf("kernel: reloc %d does not name an address literal", idx)
+			}
+			shifted := uint64(prog[idx].Imm) + delta
+			if shifted > 0x7fffffff {
+				return fmt.Errorf("kernel: relocated literal %#x exceeds imm32 range", shifted)
+			}
+			prog[idx].Imm = int32(shifted)
+		}
+	}
+	img := isa.EncodeProgram(prog)
 	textPA := k.lay.UserPA()
 	textSize := align(uint64(len(img)), 0x1000)
-	dataPA := textPA + textSize
 	dataSize := align(cfg.DataBytes, 0x1000)
 	if dataSize == 0 {
 		dataSize = 0x1000
 	}
 	stackBytes := uint64(cfg.Stacks) * StackSize
-	stackPA := dataPA + dataSize
-	if stackPA+stackBytes > k.lay.Base+k.lay.Size {
+	// Physical placement: optionally pad after text and swap the
+	// data/stack order (physical decorrelation).
+	pad := align(cfg.PhysPad, 0x1000)
+	var dataPA, stackPA uint64
+	if cfg.PhysSwap {
+		stackPA = textPA + textSize + pad
+		dataPA = stackPA + stackBytes
+	} else {
+		dataPA = textPA + textSize + pad
+		stackPA = dataPA + dataSize
+	}
+	end := dataPA + dataSize
+	if s := stackPA + stackBytes; s > end {
+		end = s
+	}
+	if end > k.lay.Base+k.lay.Size {
 		return fmt.Errorf("kernel: partition too small: need %#x, have %#x",
-			stackPA+stackBytes-k.lay.Base, k.lay.Size)
+			end-k.lay.Base, k.lay.Size)
 	}
 	if err := k.m.Mem().Write(textPA, img); err != nil {
 		return fmt.Errorf("kernel: load text: %w", err)
@@ -62,10 +119,11 @@ func (k *Kernel) LoadProcess(cfg ProcessConfig) error {
 	}
 	k.as = &machine.AddrSpace{Segs: []machine.Segment{
 		{VBase: TextVA, PBase: textPA, Size: textSize, Perm: machine.PermR | machine.PermX},
-		{VBase: DataVA, PBase: dataPA, Size: dataSize, Perm: machine.PermR | machine.PermW},
-		{VBase: StackTopVA - stackBytes, PBase: stackPA, Size: stackBytes, Perm: machine.PermR | machine.PermW},
+		{VBase: DataVA + delta, PBase: dataPA, Size: dataSize, Perm: machine.PermR | machine.PermW},
+		{VBase: StackTopVA + delta - stackBytes, PBase: stackPA, Size: stackBytes, Perm: machine.PermR | machine.PermW},
 	}}
-	_, err := k.CreateThread(TextVA, StackTopVA, cfg.Arg)
+	k.layoutDelta = delta
+	_, err := k.CreateThread(TextVA, StackTopVA+delta, cfg.Arg)
 	if err != nil {
 		return err
 	}

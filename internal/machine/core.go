@@ -106,6 +106,7 @@ const (
 	TrapBreakpoint
 	TrapSingleStep  // "mismatch" debug exception on no-resume-flag machines
 	TrapBranchWatch // PMU branch-counter overflow interrupt
+	TrapBlockWatch  // data-write watchpoint inside a block instruction
 	TrapMemFault
 	TrapIllegal
 	TrapDivZero
@@ -116,6 +117,7 @@ var trapNames = map[TrapKind]string{
 	TrapNone: "none", TrapSyscall: "syscall", TrapIRQ: "irq",
 	TrapBreakpoint: "breakpoint", TrapSingleStep: "single-step",
 	TrapBranchWatch: "branch-watch",
+	TrapBlockWatch:  "block-watch",
 	TrapMemFault:    "mem-fault", TrapIllegal: "illegal-instruction",
 	TrapDivZero: "div-zero", TrapHalt: "halt",
 }
@@ -196,6 +198,17 @@ type Core struct {
 	// technique the paper plans in §VI).
 	BranchWatch struct {
 		Target  uint64
+		Enabled bool
+	}
+
+	// BlockWatch raises TrapBlockWatch when a block instruction
+	// (MEMCPY/MEMSET) is about to issue a chunk with exactly Rem bytes
+	// remaining. It models an x86 data-write hardware breakpoint (DR
+	// register) placed at another core's destination cursor: the position
+	// inside a rep-style copy maps 1:1 onto the destination address, so
+	// one watchpoint replaces a per-iteration trap-flag chase.
+	BlockWatch struct {
+		Rem     uint64
 		Enabled bool
 	}
 
@@ -361,7 +374,7 @@ func (c *Core) memAccess(pa uint64, size int, write bool) bool {
 		if ch.valid[idx] && ch.dirty[idx] {
 			bytes *= 2 // dirty eviction: writeback + fill
 		}
-		if !c.m.bus.take(bytes) {
+		if !c.m.bus.take(c.ID, bytes) {
 			return false
 		}
 		ch.tags[idx] = line
@@ -377,7 +390,7 @@ func (c *Core) memAccess(pa uint64, size int, write bool) bool {
 		return true
 	}
 	bytes := (misses + evict) * c.m.prof.CacheLine
-	if !c.m.bus.take(bytes) {
+	if !c.m.bus.take(c.ID, bytes) {
 		return false
 	}
 	c.cache.access(pa, size, write)
@@ -402,7 +415,7 @@ func (c *Core) streamAccess(srcPA, dstPA uint64, n int) bool {
 		c.AddStall(n/c.m.prof.CoreBytesPerCycle - 1)
 		return true
 	}
-	if !c.m.bus.take(bytes) {
+	if !c.m.bus.take(c.ID, bytes) {
 		return false
 	}
 	if srcPA != ^uint64(0) {

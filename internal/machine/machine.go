@@ -544,16 +544,19 @@ func (m *Machine) execOne(c *Core) {
 		m.trap(c, Trap{Kind: TrapBranchWatch, PC: c.PC})
 		return
 	}
-	// The resume flag and single-step act at *instruction* granularity: a
-	// rep-style block operation that keeps PC in place is still the same
-	// instruction, so the breakpoint stays suppressed and the step trap
-	// waits until the instruction completes (x86 RF semantics; the paper's
-	// §III-D rep-prefix discussion).
+	// The resume flag acts at *instruction* granularity: a rep-style block
+	// operation that keeps PC in place is still the same instruction, so
+	// the breakpoint stays suppressed until it completes (x86 RF
+	// semantics). The trap flag is finer: a rep-prefixed instruction under
+	// TF delivers a debug exception after every iteration, so single-step
+	// traps on each issue — which is what lets a kernel stop a replica at
+	// an exact position *inside* a block copy (the paper's §III-D
+	// rep-prefix discussion).
 	completed := c.PC != prevPC
 	if atBP && c.ResumeOnce && completed {
 		c.ResumeOnce = false
 	}
-	if c.SingleStep && completed {
+	if c.SingleStep {
 		c.SingleStep = false
 		m.trap(c, Trap{Kind: TrapSingleStep, PC: c.PC})
 	}
@@ -909,6 +912,11 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		if remaining == 0 {
 			break // done; fall through to PC advance
 		}
+		if c.BlockWatch.Enabled && remaining == c.BlockWatch.Rem {
+			c.BlockWatch.Enabled = false
+			m.trap(c, Trap{Kind: TrapBlockWatch, PC: c.PC})
+			return true
+		}
 		chunk := uint64(m.prof.MemCopyChunk)
 		if remaining < chunk {
 			chunk = remaining
@@ -942,6 +950,11 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 		remaining := c.reg(ins.Rd)
 		if remaining == 0 {
 			break
+		}
+		if c.BlockWatch.Enabled && remaining == c.BlockWatch.Rem {
+			c.BlockWatch.Enabled = false
+			m.trap(c, Trap{Kind: TrapBlockWatch, PC: c.PC})
+			return true
 		}
 		chunk := uint64(m.prof.MemCopyChunk)
 		if remaining < chunk {

@@ -31,6 +31,10 @@ type Mem struct {
 	// pageGen counts mutations per physical page. Monotonic, 64-bit, so
 	// it never wraps into a false cache hit.
 	pageGen []uint64
+	// stuck holds the persistent stuck-at faults (hardfault.go), keyed by
+	// physical byte address. nil when no hard fault is registered, which
+	// keeps the access paths at a single len check.
+	stuck map[uint64]stuckMask
 }
 
 // NewMem allocates size bytes of zeroed physical memory.
@@ -67,6 +71,9 @@ func (m *Mem) Read(addr uint64, n int) ([]byte, error) {
 	if err := m.check(addr, n); err != nil {
 		return nil, err
 	}
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, n)
+	}
 	out := make([]byte, n)
 	copy(out, m.bytes[addr:])
 	return out, nil
@@ -77,6 +84,9 @@ func (m *Mem) Read(addr uint64, n int) ([]byte, error) {
 func (m *Mem) ReadAt(addr uint64, dst []byte) error {
 	if err := m.check(addr, len(dst)); err != nil {
 		return err
+	}
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, len(dst))
 	}
 	copy(dst, m.bytes[addr:])
 	return nil
@@ -89,6 +99,9 @@ func (m *Mem) Write(addr uint64, b []byte) error {
 	}
 	copy(m.bytes[addr:], b)
 	m.touch(addr, len(b))
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, len(b))
+	}
 	return nil
 }
 
@@ -103,8 +116,14 @@ func (m *Mem) Move(dst, src uint64, n int) error {
 	if err := m.check(dst, n); err != nil {
 		return err
 	}
+	if len(m.stuck) != 0 {
+		m.assertStuck(src, n)
+	}
 	copy(m.bytes[dst:dst+uint64(n)], m.bytes[src:src+uint64(n)])
 	m.touch(dst, n)
+	if len(m.stuck) != 0 {
+		m.assertStuck(dst, n)
+	}
 	return nil
 }
 
@@ -118,6 +137,9 @@ func (m *Mem) Fill(addr uint64, n int, v byte) error {
 		s[i] = v
 	}
 	m.touch(addr, n)
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, n)
+	}
 	return nil
 }
 
@@ -125,6 +147,9 @@ func (m *Mem) Fill(addr uint64, n int, v byte) error {
 func (m *Mem) ReadU(addr uint64, size int) (uint64, error) {
 	if err := m.check(addr, size); err != nil {
 		return 0, err
+	}
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, size)
 	}
 	b := m.bytes[addr:]
 	switch size {
@@ -165,6 +190,9 @@ func (m *Mem) WriteU(addr uint64, size int, v uint64) error {
 		}
 	}
 	m.touch(addr, size)
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, size)
+	}
 	return nil
 }
 
@@ -176,6 +204,9 @@ func (m *Mem) FlipBit(addr uint64, bit uint) error {
 	}
 	m.bytes[addr] ^= 1 << (bit % 8)
 	m.touch(addr, 1)
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, 1)
+	}
 	return nil
 }
 
@@ -190,6 +221,9 @@ func (m *Mem) Slice(addr uint64, n int) ([]byte, error) {
 		return nil, err
 	}
 	m.touch(addr, n)
+	if len(m.stuck) != 0 {
+		m.assertStuck(addr, n)
+	}
 	return m.bytes[addr : addr+uint64(n)], nil
 }
 
@@ -288,13 +322,28 @@ type bus struct {
 	rate   int // tokens (bytes) added per cycle
 	burst  int // bucket capacity
 	tokens int // may go negative: a granted request leaves debt
+	now    uint64
+	q      []busWaiter // FIFO of requesters denied while the bucket drains
+	// starve is the core denied every grant (arbiter fault, hardfault.go),
+	// or -1. A starved core is refused outright, not enqueued, so it never
+	// head-blocks the FIFO for its healthy peers.
+	starve int
+}
+
+// busWaiter is one denied requester; seen is the bus cycle of its most
+// recent retry, so requesters that stopped retrying (trapped, parked) can
+// be dropped from the grant queue instead of blocking it.
+type busWaiter struct {
+	core int
+	seen uint64
 }
 
 func newBus(rate int) *bus {
-	return &bus{rate: rate, burst: rate * 4, tokens: rate * 4}
+	return &bus{rate: rate, burst: rate * 4, tokens: rate * 4, starve: -1}
 }
 
 func (b *bus) tick() {
+	b.now++
 	b.tokens += b.rate
 	if b.tokens > b.burst {
 		b.tokens = b.burst
@@ -306,6 +355,7 @@ func (b *bus) tick() {
 // matter; computing them first keeps the arithmetic overflow-free for
 // arbitrarily large k.
 func (b *bus) skip(k uint64) {
+	b.now += k
 	if b.rate <= 0 || b.tokens >= b.burst {
 		return
 	}
@@ -317,14 +367,47 @@ func (b *bus) skip(k uint64) {
 	b.tokens += int(k) * b.rate
 }
 
-// take grants a request of n bytes when the bucket is non-negative,
+// take grants core's request of n bytes when the bucket is non-negative,
 // leaving debt that must drain before the next grant. Debt (rather than a
 // hard capacity check) lets single requests exceed the per-cycle rate
 // while still enforcing the average bandwidth.
-func (b *bus) take(n int) bool {
-	if b.tokens <= 0 {
+//
+// Grants go to denied requesters in FIFO order: without the queue, two
+// cores streaming back-to-back block requests phase-lock with the token
+// refill, and whichever core's retry lands first when the bucket recovers
+// wins every grant — a persistent unfair split (observed 2:1 on Table V's
+// full-scale membench) that no real memory controller exhibits. A waiter
+// that stops retrying for two bus cycles has left for a trap or a park
+// and is dropped so it cannot block the queue.
+func (b *bus) take(core, n int) bool {
+	if core == b.starve {
 		return false
+	}
+	if b.tokens <= 0 {
+		b.wait(core)
+		return false
+	}
+	for len(b.q) > 0 && b.q[0].core != core && b.now-b.q[0].seen > 1 {
+		b.q = b.q[1:]
+	}
+	if len(b.q) > 0 && b.q[0].core != core {
+		b.wait(core)
+		return false
+	}
+	if len(b.q) > 0 {
+		b.q = b.q[1:]
 	}
 	b.tokens -= n
 	return true
+}
+
+// wait enqueues core as a denied requester, or refreshes its retry stamp.
+func (b *bus) wait(core int) {
+	for i := range b.q {
+		if b.q[i].core == core {
+			b.q[i].seen = b.now
+			return
+		}
+	}
+	b.q = append(b.q, busWaiter{core: core, seen: b.now})
 }

@@ -74,6 +74,7 @@ func Launch(cfg GuestConfig) (*VM, error) {
 		Data:      cfg.Program.Data,
 		Arg:       cfg.Program.Arg,
 		Stacks:    cfg.Program.Stacks,
+		Relocs:    b.Relocs(),
 	}); err != nil {
 		return nil, err
 	}

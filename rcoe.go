@@ -11,7 +11,7 @@
 //     key-value server, MD5, SPLASH kernels);
 //   - run the paper's experiments (Experiments, RunExperiment);
 //   - run fault-injection campaigns (MemCampaign, RegCampaign,
-//     RecoveryTrial, Soak);
+//     HardCampaign, RecoveryTrial, SurvivalTrial, Soak);
 //   - drive the Redis-stand-in system benchmark (RunKV);
 //   - record per-replica flight-recorder traces and metrics for
 //     divergence forensics (TraceConfig, MetricsSnapshot,
@@ -133,6 +133,7 @@ func Load(sys *System, p Program) error {
 	}
 	return sys.Load(kernel.ProcessConfig{
 		Prog: prog, DataBytes: p.DataBytes, Data: p.Data, Arg: p.Arg, Stacks: p.Stacks,
+		Relocs: b.Relocs(),
 	})
 }
 
@@ -168,6 +169,7 @@ func BuildSystem(cfg Config, p Program) (*System, error) {
 	}
 	if err := sys.Load(kernel.ProcessConfig{
 		Prog: prog, DataBytes: p.DataBytes, Data: p.Data, Arg: p.Arg, Stacks: p.Stacks,
+		Relocs: b.Relocs(),
 	}); err != nil {
 		return nil, err
 	}
@@ -218,6 +220,21 @@ type (
 	RecoveryOptions = faults.RecoveryOptions
 	// Outcome classifies a fault trial.
 	Outcome = faults.Outcome
+	// FaultClass selects a hard-fault model (transient, stuck-at, burst,
+	// intermittent, device).
+	FaultClass = faults.FaultClass
+	// FaultTally accumulates fault-trial outcomes per campaign.
+	FaultTally = faults.Tally
+	// FaultCategory is a dependability-taxonomy bucket (SDC, detected-
+	// corrected, detected-uncorrected, masked).
+	FaultCategory = faults.Category
+	// HardCampaignOptions configures the hard-fault characterization
+	// study across fault classes.
+	HardCampaignOptions = faults.HardCampaignOptions
+	// SurvivalOptions configures a permanent-fault survival trial.
+	SurvivalOptions = faults.SurvivalOptions
+	// SurvivalResult reports a permanent-fault survival trial.
+	SurvivalResult = faults.SurvivalResult
 	// SoakOptions configures the chaos-soak campaign.
 	SoakOptions = faults.SoakOptions
 	// SoakResult summarises a chaos-soak campaign.
@@ -230,6 +247,36 @@ type (
 	// SoakSweepResult aggregates a soak sweep, ordered by campaign index.
 	SoakSweepResult = faults.SoakSweepResult
 )
+
+// Hard-fault classes (HardCampaignOptions.Classes).
+const (
+	ClassTransient    = faults.ClassTransient
+	ClassStuckAt      = faults.ClassStuckAt
+	ClassBurst        = faults.ClassBurst
+	ClassIntermittent = faults.ClassIntermittent
+	ClassDevice       = faults.ClassDevice
+)
+
+// Dependability-taxonomy categories (Categorize, Tally.Categories).
+const (
+	CategorySDC                 = faults.CategorySDC
+	CategoryDetectedCorrected   = faults.CategoryDetectedCorrected
+	CategoryDetectedUncorrected = faults.CategoryDetectedUncorrected
+	CategoryMasked              = faults.CategoryMasked
+)
+
+// AllFaultClasses returns every hard-fault class in canonical order.
+func AllFaultClasses() []FaultClass { return faults.AllClasses() }
+
+// AllFaultCategories returns every taxonomy category in canonical order.
+func AllFaultCategories() []FaultCategory { return faults.AllCategories() }
+
+// ParseFaultClasses parses a comma-separated class list ("all" selects
+// every class).
+func ParseFaultClasses(s string) ([]FaultClass, error) { return faults.ParseClasses(s) }
+
+// CategorizeOutcome maps a trial outcome into the SDC taxonomy.
+func CategorizeOutcome(o Outcome) FaultCategory { return faults.Categorize(o) }
 
 // Resilience-lifecycle sentinels, composable with errors.Is.
 var (
@@ -280,7 +327,7 @@ func SaveTrace(path string, rec *TraceRecorder) error { return rec.SaveFile(path
 func LoadTrace(path string) (*TraceRecorder, error) { return trace.LoadFile(path) }
 
 // MemCampaign runs the Table VII memory fault-injection study.
-func MemCampaign(opts MemCampaignOptions) (*faults.Tally, error) {
+func MemCampaign(opts MemCampaignOptions) (*FaultTally, error) {
 	return faults.MemCampaign(opts)
 }
 
@@ -292,6 +339,18 @@ func RegCampaign(opts RegCampaignOptions) (faults.RegTally, error) {
 // RecoveryTrial measures one TMR->DMR downgrade (Table X / Fig 4).
 func RecoveryTrial(opts RecoveryOptions) (faults.RecoveryResult, error) {
 	return faults.RecoveryTrial(opts)
+}
+
+// HardCampaign runs the hard-fault characterization study: per fault
+// class, outcomes tallied for the SDC/detected/masked taxonomy.
+func HardCampaign(opts HardCampaignOptions) (map[FaultClass]*FaultTally, error) {
+	return faults.HardCampaign(opts)
+}
+
+// SurvivalTrial runs one permanent-fault survival measurement: a stuck-at
+// bit in a replica's signature accumulator that no overwrite can clear.
+func SurvivalTrial(opts SurvivalOptions) (SurvivalResult, error) {
+	return faults.SurvivalTrial(opts)
 }
 
 // Soak runs the chaos-soak campaign: repeated randomized faults against a
