@@ -128,6 +128,11 @@ func run() int {
 		}
 	}
 
+	if err := preflightOut(*outFile); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-bench: -out: %v\n", err)
+		return 1
+	}
+
 	// Interactive text mode (no -json, no -out) streams each table as it
 	// lands, with host timings; artifact modes keep stdout/-out clean of
 	// timings so the bytes are reproducible.
@@ -165,21 +170,41 @@ func run() int {
 	return 0
 }
 
+// preflightOut verifies an -out path is writable before the experiments
+// run, so a bad path fails in milliseconds instead of after the whole
+// suite (and never leaves a half-written artifact behind).
+func preflightOut(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // writeArtifact renders the report as JSON or text to -out (or stdout).
-func writeArtifact(report *bench.Report, asJSON bool, outFile string) error {
+// Close failures surface too: a full disk at flush time must not exit 0
+// behind a truncated artifact.
+func writeArtifact(report *bench.Report, asJSON bool, outFile string) (err error) {
 	out := os.Stdout
 	if outFile != "" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			return err
+		f, cerr := os.Create(outFile)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		out = f
 	}
 	if asJSON {
-		data, err := report.MarshalIndent()
-		if err != nil {
-			return err
+		data, merr := report.MarshalIndent()
+		if merr != nil {
+			return merr
 		}
 		_, err = out.Write(data)
 		return err

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPreflightOut pins the -out contract: an unwritable path is
+// rejected before any experiment runs (run() calls preflightOut ahead of
+// BuildReport, so a typo'd path costs milliseconds, not the full suite),
+// while a writable one is accepted and left in place for the artifact
+// writer.
+func TestPreflightOut(t *testing.T) {
+	dir := t.TempDir()
+
+	if err := preflightOut(""); err != nil {
+		t.Fatalf("empty path (stdout mode) should pass preflight: %v", err)
+	}
+
+	good := filepath.Join(dir, "report.json")
+	if err := preflightOut(good); err != nil {
+		t.Fatalf("writable path rejected: %v", err)
+	}
+	if _, err := os.Stat(good); err != nil {
+		t.Fatalf("preflight should leave the writable file creatable: %v", err)
+	}
+
+	bad := filepath.Join(dir, "no-such-dir", "report.json")
+	if err := preflightOut(bad); err == nil {
+		t.Fatal("unwritable path passed preflight")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("failed preflight must not leave a file behind (stat err %v)", err)
+	}
+
+	roDir := filepath.Join(dir, "ro")
+	if err := os.Mkdir(roDir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getuid() != 0 { // root bypasses directory permission bits
+		if err := preflightOut(filepath.Join(roDir, "report.json")); err == nil {
+			t.Fatal("read-only directory passed preflight")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rcoe/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// taxonomyArgs is the deterministic golden subset: two cheap classes,
+// tiny trial counts, fixed seed, serial-equivalent engine. -quiet keeps
+// stderr clean; the artifact itself never carries host timings.
+func taxonomyArgs(extra ...string) []string {
+	args := []string{
+		"-json", "-quiet",
+		"-classes", "transient,device",
+		"-trials", "2", "-ops", "60", "-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+// runToFile invokes a subcommand with -out pointed at a temp file and
+// returns the artifact bytes.
+func runToFile(t *testing.T, run func([]string) int, args []string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "artifact.json")
+	if code := run(append(args, "-out", out)); code != 0 {
+		t.Fatalf("exit code %d, want 0 (args %v)", code, args)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTaxonomyJSONGolden pins the rcoe-faults/taxonomy/v1 artifact
+// bytes: schema, field order, per-class outcome tallies, and the
+// taxonomy category fold of a deterministic campaign subset. If an
+// intentional change alters the artifact, run
+// `go test ./cmd/rcoe-faults -run TestTaxonomyJSONGolden -update`
+// and review the golden diff.
+func TestTaxonomyJSONGolden(t *testing.T) {
+	t.Cleanup(func() { exp.SetDefaultWorkers(0) })
+	got := runToFile(t, runTaxonomy, taxonomyArgs("-parallel", "2"))
+
+	golden := filepath.Join("testdata", "taxonomy.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("JSON artifact drifted from %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestTaxonomyJSONWorkerInvariant reruns the golden subset at several
+// engine worker counts and requires byte-identical artifacts — the CLI
+// half of the determinism contract.
+func TestTaxonomyJSONWorkerInvariant(t *testing.T) {
+	t.Cleanup(func() { exp.SetDefaultWorkers(0) })
+	serial := runToFile(t, runTaxonomy, taxonomyArgs("-parallel", "1"))
+	for _, workers := range []string{"2", "8"} {
+		got := runToFile(t, runTaxonomy, taxonomyArgs("-parallel", workers))
+		if !bytes.Equal(serial, got) {
+			t.Fatalf("artifact differs between 1 and %s workers", workers)
+		}
+	}
+}
+
+// TestOutPreflightFailsFast pins the -out contract: an unwritable path
+// exits non-zero before the campaign runs, instead of printing a
+// half-written artifact after minutes of simulation. The generous bound
+// only has to separate "failed at flag time" from "ran the study".
+func TestOutPreflightFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "artifact.json")
+	for _, tc := range []struct {
+		name string
+		run  func([]string) int
+		args []string
+	}{
+		{"taxonomy", runTaxonomy, []string{
+			"-json", "-quiet", "-classes", "transient",
+			"-trials", "1000", "-out", bad,
+		}},
+		{"mem", runMemCampaign, []string{
+			"-json", "-trials", "1000", "-out", bad,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			if code := tc.run(tc.args); code != 1 {
+				t.Fatalf("exit code %d, want 1 for unwritable -out", code)
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("took %v: campaign ran before the -out check", elapsed)
+			}
+			if _, err := os.Stat(bad); !os.IsNotExist(err) {
+				t.Fatalf("artifact path exists after failed preflight (stat err %v)", err)
+			}
+		})
+	}
+}

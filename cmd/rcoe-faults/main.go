@@ -4,13 +4,14 @@
 // Usage:
 //
 //	rcoe-faults [-mode base|lc|cc] [-replicas N] [-arch x86|arm]
-//	            [-trials N] [-burst N] [-no-trace] [-seed N]
-//	            [-parallel N] [-json]
+//	            [-trials N] [-burst N] [-no-trace] [-seed N] [-warm]
+//	            [-parallel N] [-json] [-out FILE]
 //	rcoe-faults soak [-cycles N] [-campaigns N] [-seed N] [-window N]
 //	                 [-budget N] [-parallel N] [-json] [-quiet]
 //	rcoe-faults taxonomy [-mode lc|cc] [-replicas N] [-arch x86|arm]
 //	                     [-classes LIST] [-trials N] [-decorrelate]
-//	                     [-masking] [-seed N] [-parallel N] [-json] [-quiet]
+//	                     [-masking] [-seed N] [-warm] [-parallel N]
+//	                     [-json] [-out FILE] [-quiet]
 //
 // The default campaign prints a per-outcome tally in the categories of
 // the paper's Tables VII/IX, with the controlled/uncontrolled split. The
@@ -31,6 +32,12 @@
 // -parallel sets the host worker count of the experiment engine; worker
 // count never changes results. -json emits a structured result artifact
 // on stdout (no host timings, byte-reproducible) with logs on stderr.
+// -out writes the artifact (text or JSON) to a file instead; the path's
+// writability is checked before the campaign runs, so a bad path fails
+// immediately. -warm forks every trial from a single post-preload
+// checkpoint instead of cold-booting each (see internal/faults
+// warm-start docs; warm and cold campaigns sample different workload
+// streams, so their tallies are not comparable to each other).
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"rcoe/internal/core"
 	"rcoe/internal/exp"
@@ -84,10 +92,48 @@ func sortedOutcomes(t *faults.Tally) []faults.Outcome {
 	return keys
 }
 
-func emitJSON(v any) int {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+// preflightOut verifies an -out path is writable before the campaign
+// runs, so a bad path fails in milliseconds instead of after the study
+// (and never leaves a half-written artifact behind).
+func preflightOut(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeArtifact writes the rendered artifact to -out, or stdout when no
+// path is given. Write and close failures both surface.
+func writeArtifact(path string, data []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// emitJSON renders v as the indented JSON artifact and writes it to -out
+// (or stdout).
+func emitJSON(path string, v any) int {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := writeArtifact(path, data); err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-faults: %v\n", err)
 		return 1
 	}
@@ -104,8 +150,10 @@ func runMemCampaign(args []string) int {
 	noTrace := fs.Bool("no-trace", false, "disable driver output traces (the -N configurations)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	ops := fs.Uint64("ops", 150, "client operations per trial")
+	warm := fs.Bool("warm", false, "fork trials from a post-preload checkpoint instead of cold-booting each")
 	parallel := fs.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
 	jsonOut := fs.Bool("json", false, "emit a structured JSON result on stdout")
+	outFile := fs.String("out", "", "write the artifact (text or JSON) to FILE")
 	_ = fs.Parse(args)
 	exp.SetDefaultWorkers(*parallel)
 
@@ -132,6 +180,10 @@ func runMemCampaign(args []string) int {
 		fmt.Fprintf(os.Stderr, "rcoe-faults: unknown arch %q\n", *arch)
 		return 2
 	}
+	if err := preflightOut(*outFile); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults: -out: %v\n", err)
+		return 1
+	}
 
 	tally, err := faults.MemCampaign(faults.MemCampaignOptions{
 		KV: harness.KVOptions{
@@ -152,6 +204,7 @@ func runMemCampaign(args []string) int {
 		IncludeDMA:        true,
 		Burst:             *burst,
 		Seed:              *seed,
+		WarmStart:         *warm,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-faults: %v\n", err)
@@ -159,13 +212,14 @@ func runMemCampaign(args []string) int {
 	}
 
 	if *jsonOut {
-		return emitJSON(struct {
+		return emitJSON(*outFile, struct {
 			Schema       string            `json:"schema"`
 			Mode         string            `json:"mode"`
 			Replicas     int               `json:"replicas"`
 			Arch         string            `json:"arch"`
 			Trials       int               `json:"trials"`
 			Seed         uint64            `json:"seed"`
+			Warm         bool              `json:"warm"`
 			Injected     uint64            `json:"injected"`
 			Outcomes     map[string]uint64 `json:"outcomes"`
 			Observed     uint64            `json:"observed"`
@@ -173,19 +227,24 @@ func runMemCampaign(args []string) int {
 			Uncontrolled uint64            `json:"uncontrolled"`
 		}{
 			Schema: "rcoe-faults/mem/v1", Mode: *mode, Replicas: *replicas,
-			Arch: *arch, Trials: *trials, Seed: *seed,
+			Arch: *arch, Trials: *trials, Seed: *seed, Warm: *warm,
 			Injected: tally.Injected, Outcomes: tallyCounts(tally),
 			Observed: tally.Observed(), Controlled: tally.Controlled(),
 			Uncontrolled: tally.Uncontrolled(),
 		})
 	}
-	fmt.Printf("campaign: %s-%d on %s, %d trials, %d bit flips\n",
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign: %s-%d on %s, %d trials, %d bit flips\n",
 		*mode, *replicas, *arch, *trials, tally.Injected)
 	for _, o := range sortedOutcomes(tally) {
-		fmt.Printf("  %-20s %d\n", o.String(), tally.Counts[o])
+		fmt.Fprintf(&sb, "  %-20s %d\n", o.String(), tally.Counts[o])
 	}
-	fmt.Printf("observed errors: %d  controlled: %d  uncontrolled: %d\n",
+	fmt.Fprintf(&sb, "observed errors: %d  controlled: %d  uncontrolled: %d\n",
 		tally.Observed(), tally.Controlled(), tally.Uncontrolled())
+	if err := writeArtifact(*outFile, []byte(sb.String())); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults: %v\n", err)
+		return 1
+	}
 	return 0
 }
 
@@ -208,9 +267,11 @@ func runTaxonomy(args []string) int {
 	masking := fs.Bool("masking", true, "allow a TMR system to vote faulty replicas out")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	ops := fs.Uint64("ops", 150, "client operations per trial")
+	warm := fs.Bool("warm", false, "fork trials from a post-preload checkpoint instead of cold-booting each")
 	parallel := fs.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
 	jsonOut := fs.Bool("json", false, "emit a structured JSON result on stdout (progress on stderr)")
-	quiet := fs.Bool("quiet", false, "suppress the per-class progress log")
+	outFile := fs.String("out", "", "write the artifact (text or JSON) to FILE")
+	quiet := fs.Bool("quiet", false, "suppress the progress log")
 	_ = fs.Parse(args)
 	exp.SetDefaultWorkers(*parallel)
 
@@ -239,6 +300,10 @@ func runTaxonomy(args []string) int {
 		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %v\n", err)
 		return 2
 	}
+	if err := preflightOut(*outFile); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: -out: %v\n", err)
+		return 1
+	}
 
 	opts := faults.HardCampaignOptions{
 		KV: harness.KVOptions{
@@ -258,8 +323,13 @@ func runTaxonomy(args []string) int {
 		TrialsPerClass:    *trials,
 		TargetAllReplicas: prof.Name == "arm",
 		Seed:              *seed,
+		WarmStart:         *warm,
 	}
 	if !*quiet {
+		opts.TrialProgress = func(class faults.FaultClass, p exp.Progress) {
+			fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %-12s trial %d/%d\n",
+				class, p.Done, p.Total)
+		}
 		opts.Progress = func(class faults.FaultClass, done, total int) {
 			fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %-12s done (%d/%d classes, %d trials each)\n",
 				class, done, total, *trials)
@@ -290,7 +360,7 @@ func runTaxonomy(args []string) int {
 				total[c.String()] += n
 			}
 		}
-		return emitJSON(struct {
+		return emitJSON(*outFile, struct {
 			Schema      string                 `json:"schema"`
 			Mode        string                 `json:"mode"`
 			Replicas    int                    `json:"replicas"`
@@ -299,21 +369,24 @@ func runTaxonomy(args []string) int {
 			Decorrelate bool                   `json:"decorrelate"`
 			Trials      int                    `json:"trials_per_class"`
 			Seed        uint64                 `json:"seed"`
+			Warm        bool                   `json:"warm"`
 			Classes     map[string]classReport `json:"classes"`
 			Categories  map[string]uint64      `json:"categories"`
 		}{
 			Schema: "rcoe-faults/taxonomy/v1", Mode: *mode, Replicas: *replicas,
 			Arch: *arch, Masking: opts.KV.System.Masking, Decorrelate: *decorrelate,
-			Trials: *trials, Seed: *seed, Classes: perClass, Categories: total,
+			Trials: *trials, Seed: *seed, Warm: *warm,
+			Classes: perClass, Categories: total,
 		})
 	}
-	fmt.Printf("taxonomy: %s-%d on %s, %d trials/class, decorrelate=%v masking=%v\n",
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "taxonomy: %s-%d on %s, %d trials/class, decorrelate=%v masking=%v\n",
 		*mode, *replicas, *arch, *trials, *decorrelate, opts.KV.System.Masking)
 	for _, class := range selected {
 		t := tallies[class]
-		fmt.Printf("%s (%d injections):\n", class, t.Injected)
+		fmt.Fprintf(&sb, "%s (%d injections):\n", class, t.Injected)
 		for _, o := range sortedOutcomes(t) {
-			fmt.Printf("  %-20s %-4d -> %s\n", o.String(), t.Counts[o], faults.Categorize(o))
+			fmt.Fprintf(&sb, "  %-20s %-4d -> %s\n", o.String(), t.Counts[o], faults.Categorize(o))
 		}
 	}
 	total := map[faults.Category]uint64{}
@@ -322,9 +395,13 @@ func runTaxonomy(args []string) int {
 			total[c] += n
 		}
 	}
-	fmt.Println("taxonomy totals:")
+	fmt.Fprintln(&sb, "taxonomy totals:")
 	for _, c := range faults.AllCategories() {
-		fmt.Printf("  %-22s %d\n", c.String(), total[c])
+		fmt.Fprintf(&sb, "  %-22s %d\n", c.String(), total[c])
+	}
+	if err := writeArtifact(*outFile, []byte(sb.String())); err != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-faults taxonomy: %v\n", err)
+		return 1
 	}
 	return 0
 }
@@ -373,7 +450,7 @@ func runSoak(args []string) int {
 		if violations == nil {
 			violations = []string{}
 		}
-		code := emitJSON(struct {
+		code := emitJSON("", struct {
 			Schema         string            `json:"schema"`
 			Campaigns      int               `json:"campaigns"`
 			CyclesEach     int               `json:"cycles_each"`

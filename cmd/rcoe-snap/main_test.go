@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// quick is the small scenario the CLI tests run: tiny preload, short run
+// phase.
+func quick(extra ...string) []string {
+	return append(extra, "-records", "24", "-ops", "40")
+}
+
+func TestSaveRestoreDiffRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.snap")
+	b := filepath.Join(dir, "b.snap")
+	if code := run(quick("save", "-o", a)); code != 0 {
+		t.Fatalf("save exited %d", code)
+	}
+	if code := run(quick("restore", a, "-o", b)); code != 0 {
+		t.Fatalf("restore exited %d", code)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("restore -o re-serialization is not byte-identical to the input")
+	}
+	if code := run([]string{"diff", a, b}); code != 0 {
+		t.Fatalf("diff of identical snapshots exited %d", code)
+	}
+	if code := run([]string{"info", a}); code != 0 {
+		t.Fatalf("info exited %d", code)
+	}
+	if code := run(quick("restore", a, "-run")); code != 0 {
+		t.Fatalf("restore -run exited %d", code)
+	}
+}
+
+func TestRestoreRejectsMismatchedScenario(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.snap")
+	if code := run(quick("save", "-o", a)); code != 0 {
+		t.Fatalf("save exited %d", code)
+	}
+	if code := run(quick("restore", a, "-replicas", "3")); code != 1 {
+		t.Fatalf("mismatched replica count: restore exited %d, want 1", code)
+	}
+	if code := run(quick("restore", a, "-seed", "9")); code != 1 {
+		t.Fatalf("mismatched seed: restore exited %d, want 1", code)
+	}
+}
+
+func TestDiffDetectsDifference(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.snap")
+	b := filepath.Join(dir, "b.snap")
+	if code := run(quick("save", "-o", a, "-seed", "1")); code != 0 {
+		t.Fatalf("save a exited %d", code)
+	}
+	if code := run(quick("save", "-o", b, "-seed", "3")); code != 0 {
+		t.Fatalf("save b exited %d", code)
+	}
+	if code := run([]string{"diff", a, b}); code != 1 {
+		t.Fatalf("diff of different snapshots exited %d, want 1", code)
+	}
+}

@@ -7,6 +7,8 @@
 //	rcoe-trace dump FILE [-ring N|sys] [-last N]
 //	rcoe-trace diff FILE
 //	rcoe-trace summary FILE
+//	rcoe-trace replay [-mode lc|cc] [-replicas N] [-ops N] [-flip R]
+//	                  [-events N] [-replay-events N] [-every N] [-o FILE]
 //
 // record runs a syscall-heavy replicated workload with the flight
 // recorder on and saves the trace file. With -flip R it corrupts a live
@@ -15,6 +17,8 @@
 // divergence-report trace is what gets saved). diff aligns the replica
 // streams by logical time and prints the first-divergence report; dump
 // lists raw events; summary prints per-ring totals and per-kind counts.
+// replay reproduces a detected divergence from its last periodic
+// checkpoint with the flight recorder at full verbosity (see replay.go).
 package main
 
 import (
@@ -48,6 +52,8 @@ func run() int {
 		return runDiff(os.Args[2:])
 	case "summary":
 		return runSummary(os.Args[2:])
+	case "replay":
+		return runReplay(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "rcoe-trace: unknown subcommand %q\n", os.Args[1])
 		usage()
@@ -60,7 +66,9 @@ func usage() {
   rcoe-trace record [-o FILE] [-mode lc|cc] [-replicas N] [-events N] [-ops N] [-flip R]
   rcoe-trace dump FILE [-ring N|sys] [-last N]
   rcoe-trace diff FILE
-  rcoe-trace summary FILE`)
+  rcoe-trace summary FILE
+  rcoe-trace replay [-mode lc|cc] [-replicas N] [-ops N] [-flip R] [-events N]
+                    [-replay-events N] [-every N] [-o FILE]`)
 }
 
 // syscallLoop builds a guest program of n null syscalls — one comparable

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"rcoe/internal/core"
+)
+
+// TestReplayMatchesForensics is the replay-triage acceptance property:
+// restoring the last periodic checkpoint into a full-verbosity system and
+// re-applying the recorded flip must name the same first divergent
+// instruction as the production system's own forensic report.
+func TestReplayMatchesForensics(t *testing.T) {
+	prodCfg := traceSystemConfig(core.ModeLC, 3, 4096)
+	replayCfg := traceSystemConfig(core.ModeLC, 3, 1<<15)
+	st, err := runReplayStudy(prodCfg, replayCfg, 30_000, 0, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProdReport == nil {
+		t.Fatal("production run never detected the flip")
+	}
+	if st.ReplayReport == nil {
+		t.Fatal("replay did not reproduce the detection")
+	}
+	prod, replay := st.ProdReport.Divergence, st.ReplayDivergence
+	if !prod.Found {
+		t.Fatalf("production analysis found no divergence:\n%s", prod)
+	}
+	if !replay.Found {
+		t.Fatalf("replay analysis found no divergence:\n%s", replay)
+	}
+	if !sameDivergentInstruction(prod, replay) {
+		t.Fatalf("replay names a different divergence\nproduction:\n%s\nreplay:\n%s", prod, replay)
+	}
+	if prod.Replica != 0 {
+		t.Errorf("flipped replica 0 but analysis blames %d", prod.Replica)
+	}
+	t.Logf("rounds=%d checkpoint=%d divergence: lc=%d ip=%#x replica=%d",
+		st.Rounds, st.Checkpoint, replay.LC, replay.Events[replay.Replica].IP, replay.Replica)
+}
+
+// TestReplayDMRFailStop exercises the non-masking path: a DMR system
+// fail-stops on detection, and the replay still reproduces the same
+// divergence analysis from the checkpoint.
+func TestReplayDMRFailStop(t *testing.T) {
+	prodCfg := traceSystemConfig(core.ModeLC, 2, 4096)
+	replayCfg := traceSystemConfig(core.ModeLC, 2, 1<<15)
+	st, err := runReplayStudy(prodCfg, replayCfg, 30_000, 1, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProdReport == nil {
+		t.Fatal("production run never detected the flip")
+	}
+	if st.ReplayReport == nil {
+		t.Fatal("replay did not reproduce the detection")
+	}
+	if !sameDivergentInstruction(st.ProdReport.Divergence, st.ReplayDivergence) {
+		t.Fatalf("replay names a different divergence\nproduction:\n%s\nreplay:\n%s",
+			st.ProdReport.Divergence, st.ReplayDivergence)
+	}
+}

@@ -200,8 +200,18 @@ func (s *System) clearChase(r *Replica) {
 func (s *System) parkAtRendezvous(r *Replica, gen uint64) {
 	s.clearChase(r)
 	s.sh.setRepWord(r.ID, rwParkedGen, gen)
+	r.barrierStart = r.Core().Cycles
+	s.armRendezvousPark(r, gen)
+}
+
+// armRendezvousPark installs the rendezvous park closures, using the
+// already-recorded barrierStart for the spin budget. Split from
+// parkAtRendezvous so a snapshot restore can re-arm the park without
+// re-running its side effects (in particular without resetting the spin
+// budget, which must survive a checkpoint for determinism).
+func (s *System) armRendezvousPark(r *Replica, gen uint64) {
+	r.park = parkDesc{kind: parkRendezvous, gen: gen}
 	c := r.Core()
-	r.barrierStart = c.Cycles
 	c.Park(func() bool {
 		if s.halted {
 			return true
@@ -372,6 +382,7 @@ func (s *System) markReleased(r *Replica, gen uint64) {
 // later synchronisations (other replicas finishing, faults) can include
 // it.
 func (s *System) finishedPark(r *Replica) {
+	r.park = parkDesc{kind: parkFinished}
 	c := r.Core()
 	c.Park(func() bool {
 		if s.halted || s.finished {
@@ -620,17 +631,27 @@ func (s *System) onSingleStep(r *Replica) {
 // (per-syscall votes under SigSync and the FT_Mem_* driver calls, which
 // "only perform operations when all replicas are in sync"). action runs
 // exactly once at completion (device-side work); cont runs on every
-// replica after release.
-func (s *System) eventBarrier(r *Replica, ev uint64, action func(), cont func()) {
+// replica after release. desc describes the barrier (kind, event number,
+// and the arguments needed to rebuild action/cont) so a snapshot restore
+// can re-arm the park.
+func (s *System) eventBarrier(r *Replica, desc parkDesc, action func(), cont func()) {
 	// Publish the post-bump logical time: replicas parked at an open
 	// rendezvous must see this replica as "ahead" so they resume and
 	// catch up to this event instead of timing out.
 	s.sh.publishTime(r.ID, s.timeOf(r))
-	s.sh.setRepWord(r.ID, rwVoteEvent, ev)
+	s.sh.setRepWord(r.ID, rwVoteEvent, desc.ev)
 	_, sum := r.K.Signature()
 	s.sh.setRepWord(r.ID, rwVoteSum, sum)
+	r.barrierStart = r.Core().Cycles
+	s.armEventBarrier(r, desc, action, cont)
+}
+
+// armEventBarrier installs the event-barrier park closures against the
+// already-recorded barrierStart (the restore-safe half of eventBarrier).
+func (s *System) armEventBarrier(r *Replica, desc parkDesc, action func(), cont func()) {
+	r.park = desc
+	ev := desc.ev
 	c := r.Core()
-	r.barrierStart = c.Cycles
 	c.Park(func() bool {
 		if s.halted {
 			return true
@@ -666,7 +687,7 @@ func (s *System) eventBarrier(r *Replica, ev uint64, action func(), cont func())
 					c.SetOffline()
 					return
 				}
-				s.eventBarrier(r, ev, action, cont)
+				s.eventBarrier(r, desc, action, cont)
 			}
 		}
 	})

@@ -43,6 +43,12 @@ type Replica struct {
 	UserMemFaults uint64
 	// DebugExceptions counts breakpoint and single-step exceptions.
 	DebugExceptions uint64
+
+	// park describes the park this replica's core most recently entered
+	// (the wait closures themselves cannot be serialized; the descriptor
+	// lets a snapshot restore re-arm an equivalent park). It is recorded
+	// by the arm* installers and never cleared — stale while running.
+	park parkDesc
 }
 
 // Core returns the replica's CPU core.
@@ -103,6 +109,10 @@ type System struct {
 	devWindows []devWindow
 
 	primaryChange func(newPrimary int)
+
+	// timer is the preemption timer device (nil when TickCycles == 0);
+	// kept so a snapshot restore can reset its derived tick cache.
+	timer *preemptionTimer
 }
 
 // SetPrimaryChangeHook registers a callback invoked after a faulty primary
@@ -170,7 +180,8 @@ func NewSystem(cfg Config) (*System, error) {
 	sys.sh.setWord(wPrimary, 0)
 	m.SetHandler(sys)
 	if cfg.TickCycles > 0 {
-		m.AddDevice(&preemptionTimer{period: cfg.TickCycles})
+		sys.timer = &preemptionTimer{period: cfg.TickCycles}
+		m.AddDevice(sys.timer)
 	}
 	if wd := cfg.watchdogCycles(); wd > 0 && cfg.Mode != ModeNone {
 		m.AddDevice(&syncWatchdog{sys: sys, period: wd})
@@ -398,6 +409,13 @@ func (s *System) InjectStall(rid int) {
 // point its core goes offline.
 func (s *System) consumeStall(r *Replica) {
 	r.stallPending = false
+	s.armStallPark(r)
+}
+
+// armStallPark installs the stalled-replica park (split from consumeStall
+// so a snapshot restore can re-arm it without side effects).
+func (s *System) armStallPark(r *Replica) {
+	r.park = parkDesc{kind: parkStall}
 	c := r.Core()
 	c.Park(func() bool {
 		return s.halted || (s.cfg.Mode != ModeNone && !s.sh.alive(r.ID))

@@ -177,7 +177,8 @@ func (s *System) onSyscall(r *Replica, t machine.Trap) {
 		}
 		if s.cfg.Sig == SigSync && num != int32(kernel.SysFTMemAccess) && num != int32(kernel.SysFTMemRep) {
 			s.stats.SyscallVotes++
-			s.eventBarrier(r, ev, nil, func() {
+			desc := parkDesc{kind: parkEventVote, ev: ev, num: num, args: args}
+			s.eventBarrier(r, desc, nil, func() {
 				s.dispatch(r, num, args)
 			})
 			return
@@ -398,7 +399,17 @@ func (s *System) sysFTMemAccess(r *Replica, args [4]uint64) {
 		return
 	}
 	ev := r.K.EventCount()
-	s.eventBarrier(r, ev, func() {
+	desc := parkDesc{kind: parkEventMemAccess, ev: ev, args: args}
+	action, cont := s.ftMemAccessFuncs(r, args)
+	s.eventBarrier(r, desc, action, cont)
+}
+
+// ftMemAccessFuncs builds the device-side action and per-replica
+// continuation for an FT_Mem_Access event barrier. Factored out so a
+// snapshot restore can rebuild the closures from the recorded arguments.
+func (s *System) ftMemAccessFuncs(r *Replica, args [4]uint64) (action, cont func()) {
+	accessType, pa, va, n := args[0], args[1], args[2], args[3]
+	action = func() {
 		// Executed once, at completion, on behalf of the primary kernel.
 		s.sh.setWord(wIOBusy, 1)
 		prim := s.reps[s.Primary()]
@@ -423,7 +434,8 @@ func (s *System) sysFTMemAccess(r *Replica, args [4]uint64) {
 		}
 		prim.Core().AddStall(int(n) / 4)
 		s.sh.setWord(wIOBusy, 0)
-	}, func() {
+	}
+	cont = func() {
 		if accessType == 0 {
 			// Every replica copies the replicated input into its own
 			// address space.
@@ -442,7 +454,8 @@ func (s *System) sysFTMemAccess(r *Replica, args [4]uint64) {
 		}
 		setRet(r, 0)
 		s.afterKernel(r)
-	})
+	}
+	return action, cont
 }
 
 // sysFTMemRep replicates a DMA buffer (§III-E): the primary copies its
@@ -460,7 +473,15 @@ func (s *System) sysFTMemRep(r *Replica, va, n uint64) {
 		return
 	}
 	ev := r.K.EventCount()
-	s.eventBarrier(r, ev, func() {
+	desc := parkDesc{kind: parkEventMemRep, ev: ev, va: va, n: n}
+	action, cont := s.ftMemRepFuncs(r, va, n)
+	s.eventBarrier(r, desc, action, cont)
+}
+
+// ftMemRepFuncs builds the action and continuation for an FT_Mem_Rep
+// event barrier (restore-rebuildable, like ftMemAccessFuncs).
+func (s *System) ftMemRepFuncs(r *Replica, va, n uint64) (action, cont func()) {
+	action = func() {
 		prim := s.reps[s.Primary()]
 		buf, err := prim.K.CopyFromUser(va, int(n))
 		if err == nil {
@@ -468,7 +489,8 @@ func (s *System) sysFTMemRep(r *Replica, va, n uint64) {
 			s.stats.InputBytes += n
 		}
 		prim.Core().AddStall(int(n) / 4)
-	}, func() {
+	}
+	cont = func() {
 		if r.ID != s.Primary() {
 			buf, err := s.m.Mem().Read(inputBufPA(), int(n))
 			if err == nil {
@@ -478,7 +500,8 @@ func (s *System) sysFTMemRep(r *Replica, va, n uint64) {
 		}
 		setRet(r, 0)
 		s.afterKernel(r)
-	})
+	}
+	return action, cont
 }
 
 // doDeviceAccess is the unreplicated device-access path.
@@ -515,6 +538,13 @@ func (s *System) goIdle(r *Replica) {
 		s.enterRendezvous(r)
 		return
 	}
+	s.armIdlePark(r)
+}
+
+// armIdlePark installs the idle park (the restore-safe half of goIdle:
+// no rendezvous check, no side effects).
+func (s *System) armIdlePark(r *Replica) {
+	r.park = parkDesc{kind: parkIdle}
 	c := r.Core()
 	c.Park(func() bool {
 		return s.halted || c.IPIPending() || c.PendingIRQ() != 0 || r.K.HasReady()

@@ -38,6 +38,16 @@ type HardCampaignOptions struct {
 	MaxFaults int
 	// Seed makes the whole campaign deterministic.
 	Seed uint64
+	// WarmStart forks every trial from a single post-preload checkpoint
+	// instead of re-simulating boot and the load phase per trial. The
+	// template is snapshotted before any fault device is armed; trials arm
+	// their own injectors after restore. The workload stream becomes
+	// common across trials (seeded from Seed); see warmstart.go.
+	WarmStart bool
+	// Template, when set, is a pre-built checkpoint from WarmTemplate
+	// (same KV options and Seed) reused instead of building one; it
+	// implies WarmStart.
+	Template []byte
 	// Context, when set, cancels the campaign between trials.
 	Context context.Context
 	// Workers overrides the engine's host worker-pool size (0 = default).
@@ -46,6 +56,11 @@ type HardCampaignOptions struct {
 	// the number of classes done so far. It runs on the caller's
 	// goroutine, between engine runs, so it may write to stderr freely.
 	Progress func(class FaultClass, done, total int)
+	// TrialProgress, when set, receives the engine's per-trial progress
+	// for the class currently running (Done/Total count that class's
+	// trials) so CLIs can print k/N lines. Calls are serialised but may
+	// come from any worker goroutine.
+	TrialProgress func(class FaultClass, p exp.Progress)
 }
 
 // burstBits is the number of bit flips a burst injection lands within one
@@ -75,6 +90,13 @@ func HardCampaign(opts HardCampaignOptions) (map[FaultClass]*Tally, error) {
 	if opts.TrialsPerClass == 0 {
 		opts.TrialsPerClass = 20
 	}
+	tmpl := opts.Template
+	if opts.WarmStart && tmpl == nil {
+		var err error
+		if tmpl, err = WarmTemplate(opts.KV, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
 	r := newRNG(opts.Seed)
 	out := make(map[FaultClass]*Tally, len(classes))
 	for ci, class := range classes {
@@ -85,11 +107,18 @@ func HardCampaign(opts HardCampaignOptions) (map[FaultClass]*Tally, error) {
 				Name: fmt.Sprintf("%s-trial[%d]", class, i),
 				Seed: r.next(),
 				Run: func(_ context.Context, seed uint64) (TrialResult, error) {
-					return HardTrial(opts, class, seed)
+					return hardTrial(opts, class, seed, tmpl)
 				},
 			}
 		}
-		results, err := exp.Run(exp.Options{Workers: opts.Workers, Context: opts.Context}, jobs)
+		var onTrial func(exp.Progress)
+		if opts.TrialProgress != nil {
+			class := class
+			onTrial = func(p exp.Progress) { opts.TrialProgress(class, p) }
+		}
+		results, err := exp.Run(exp.Options{
+			Workers: opts.Workers, Context: opts.Context, OnProgress: onTrial,
+		}, jobs)
 		if err != nil {
 			return nil, err
 		}
@@ -119,6 +148,10 @@ const maxStuckBits = 128
 // functions of the trial seed; point faults (transient, stuck-at, burst)
 // inject periodically after the warm-up window.
 func HardTrial(opts HardCampaignOptions, class FaultClass, seed uint64) (TrialResult, error) {
+	return hardTrial(opts, class, seed, nil)
+}
+
+func hardTrial(opts HardCampaignOptions, class FaultClass, seed uint64, tmpl []byte) (TrialResult, error) {
 	if opts.InjectAfterCycles == 0 {
 		opts.InjectAfterCycles = 200_000
 	}
@@ -128,9 +161,7 @@ func HardTrial(opts HardCampaignOptions, class FaultClass, seed uint64) (TrialRe
 	if opts.MaxFaults == 0 {
 		opts.MaxFaults = 4_000
 	}
-	kv := opts.KV
-	kv.Seed = seed | 1
-	run, err := harness.NewKV(kv)
+	run, err := trialRun(opts.KV, opts.Seed, seed, tmpl)
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -178,7 +209,7 @@ func HardTrial(opts HardCampaignOptions, class FaultClass, seed uint64) (TrialRe
 		step = 25_000
 	}
 
-	deadline := run.Sys.Machine().Now() + kvTrialBudget(kv)
+	deadline := run.Sys.Machine().Now() + kvTrialBudget(opts.KV)
 	injectAt := run.Sys.Machine().Now() + opts.InjectAfterCycles
 	if class == ClassStuckAt {
 		injectAt = run.Sys.Machine().Now()

@@ -36,11 +36,24 @@ type MemCampaignOptions struct {
 	Burst int
 	// Seed makes the campaign deterministic.
 	Seed uint64
+	// WarmStart forks every trial from a single post-preload checkpoint
+	// instead of re-simulating boot and the load phase per trial. The
+	// workload stream is then common across trials (seeded from Seed) and
+	// only the injection stream varies; see warmstart.go.
+	WarmStart bool
+	// Template, when set, is a pre-built checkpoint from WarmTemplate
+	// (same KV options and Seed) reused instead of building one; it
+	// implies WarmStart.
+	Template []byte
 	// Context, when set, cancels the campaign between trials.
 	Context context.Context
 	// Workers overrides the engine's host worker-pool size for this
 	// campaign (0 = the process default, normally the host core count).
 	Workers int
+	// TrialProgress, when set, receives the engine's per-trial progress
+	// (Done/Total count trials) so CLIs can print k/N lines. Calls are
+	// serialised but may come from any worker goroutine.
+	TrialProgress func(p exp.Progress)
 }
 
 // TrialResult captures one trial's classification with its injection
@@ -56,6 +69,13 @@ type TrialResult struct {
 // xorshift chain from the campaign seed, so a parallel campaign tallies
 // exactly what the historical serial loop did.
 func MemCampaign(opts MemCampaignOptions) (*Tally, error) {
+	tmpl := opts.Template
+	if opts.WarmStart && tmpl == nil {
+		var err error
+		if tmpl, err = WarmTemplate(opts.KV, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
 	r := newRNG(opts.Seed)
 	jobs := make([]exp.Job[TrialResult], opts.Trials)
 	for i := range jobs {
@@ -63,11 +83,13 @@ func MemCampaign(opts MemCampaignOptions) (*Tally, error) {
 			Name: fmt.Sprintf("mem-trial[%d]", i),
 			Seed: r.next(),
 			Run: func(_ context.Context, seed uint64) (TrialResult, error) {
-				return MemTrial(opts, seed)
+				return memTrial(opts, seed, tmpl)
 			},
 		}
 	}
-	results, err := exp.Run(exp.Options{Workers: opts.Workers, Context: opts.Context}, jobs)
+	results, err := exp.Run(exp.Options{
+		Workers: opts.Workers, Context: opts.Context, OnProgress: opts.TrialProgress,
+	}, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +108,10 @@ func MemCampaign(opts MemCampaignOptions) (*Tally, error) {
 // flipping random bits in the target regions, and classify the first
 // observable consequence.
 func MemTrial(opts MemCampaignOptions, seed uint64) (TrialResult, error) {
+	return memTrial(opts, seed, nil)
+}
+
+func memTrial(opts MemCampaignOptions, seed uint64, tmpl []byte) (TrialResult, error) {
 	if opts.FlipEveryCycles == 0 {
 		opts.FlipEveryCycles = 40_000
 	}
@@ -95,9 +121,7 @@ func MemTrial(opts MemCampaignOptions, seed uint64) (TrialResult, error) {
 	if opts.Burst <= 0 {
 		opts.Burst = 1
 	}
-	kv := opts.KV
-	kv.Seed = seed | 1
-	run, err := harness.NewKV(kv)
+	run, err := trialRun(opts.KV, opts.Seed, seed, tmpl)
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -106,7 +130,7 @@ func MemTrial(opts MemCampaignOptions, seed uint64) (TrialResult, error) {
 	mem := run.Sys.Machine().Mem()
 	var injected uint64
 
-	deadline := run.Sys.Machine().Now() + kvTrialBudget(kv)
+	deadline := run.Sys.Machine().Now() + kvTrialBudget(opts.KV)
 	for !run.Done() {
 		if halted, _ := run.Sys.Halted(); halted {
 			break

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"rcoe/internal/harness"
+	"rcoe/internal/snapshot"
+)
+
+// Warm-start support: a campaign builds the KV system once, simulates it
+// through boot and the preload phase, and snapshots it. Every trial then
+// forks from the checkpoint — a fresh NewKV (same options) restored from
+// the template — instead of re-simulating the warm-up. The template is
+// taken before any fault device is armed, so the restore target's device
+// population matches construction and each trial arms its own injectors
+// on a pristine system.
+//
+// A warm campaign pins the workload seed to warmSeed(campaign seed) — the
+// request stream is common across trials (a common-random-numbers design)
+// and only the injection stream varies per trial. Cold campaigns instead
+// derive the workload seed from the trial seed, so the two modes sample
+// different (equally valid) experiment populations; within a mode the
+// tallies are byte-identical at any worker count.
+
+// warmSeed is the fixed workload seed a warm campaign pins for the
+// template and every fork of it.
+func warmSeed(campaignSeed uint64) uint64 { return campaignSeed | 1 }
+
+// WarmTemplate builds the warm-start checkpoint a campaign with the given
+// KV options and campaign seed would build itself. Callers running many
+// campaigns over the same system configuration (class sweeps, parameter
+// sweeps, repeated benchmark iterations) can build the template once and
+// pass it via the Template option.
+func WarmTemplate(kv harness.KVOptions, campaignSeed uint64) ([]byte, error) {
+	kv.Seed = warmSeed(campaignSeed)
+	return warmTemplate(kv)
+}
+
+// warmTemplate simulates a fresh run through boot and the preload phase
+// and returns its serialized state.
+func warmTemplate(kv harness.KVOptions) ([]byte, error) {
+	run, err := harness.NewKV(kv)
+	if err != nil {
+		return nil, err
+	}
+	deadline := run.Sys.Machine().Now() + kvTrialBudget(kv)
+	for !run.LoadPhaseDone() {
+		if halted, reason := run.Sys.Halted(); halted {
+			return nil, fmt.Errorf("faults: warm template halted during preload: %s", reason)
+		}
+		if run.Sys.Machine().Now() > deadline {
+			return nil, errors.New("faults: warm template exceeded cycle budget during preload")
+		}
+		run.StepChunk(25_000)
+	}
+	return snapshot.Save(run)
+}
+
+// warmFork builds a trial system through the normal construction path and
+// restores the template into it.
+func warmFork(kv harness.KVOptions, tmpl []byte) (*harness.KVRun, error) {
+	run, err := harness.NewKV(kv)
+	if err != nil {
+		return nil, err
+	}
+	if err := snapshot.Restore(run, tmpl); err != nil {
+		return nil, fmt.Errorf("faults: warm fork: %w", err)
+	}
+	return run, nil
+}
+
+// trialRun builds the system for one trial: a warm fork when a template
+// is present, a cold boot otherwise.
+func trialRun(kv harness.KVOptions, campaignSeed, trialSeed uint64, tmpl []byte) (*harness.KVRun, error) {
+	if tmpl != nil {
+		kv.Seed = warmSeed(campaignSeed)
+		return warmFork(kv, tmpl)
+	}
+	kv.Seed = trialSeed | 1
+	return harness.NewKV(kv)
+}

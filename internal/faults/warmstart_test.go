@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/harness"
+)
+
+// TestHardCampaignWarmStartWorkerInvariant pins the warm-start
+// acceptance property: every trial forks from the same post-preload
+// checkpoint with a pre-engine seed chain, so the tallies are
+// byte-identical at any worker count.
+func TestHardCampaignWarmStartWorkerInvariant(t *testing.T) {
+	base := HardCampaignOptions{
+		KV:             kvBase(core.ModeLC, 2),
+		Classes:        []FaultClass{ClassTransient, ClassDevice},
+		TrialsPerClass: 3,
+		Seed:           11,
+		WarmStart:      true,
+	}
+	base.KV.Operations = 120
+
+	serial := base
+	serial.Workers = 1
+	got1, err := HardCampaign(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := base
+	wide.Workers = 8
+	got8, err := HardCampaign(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range base.Classes {
+		if !reflect.DeepEqual(got1[class], got8[class]) {
+			t.Fatalf("%v: serial %+v != 8-worker %+v", class, got1[class], got8[class])
+		}
+		if got1[class].Injected == 0 {
+			t.Fatalf("%v: warm trials injected nothing", class)
+		}
+		t.Logf("%v: %+v -> %v", class, got1[class].Counts, got1[class].Categories())
+	}
+}
+
+// TestMemCampaignWarmStartDeterministic runs the same warm memory
+// campaign twice: the template fork must leak no state between trials, so
+// the tallies are identical run to run.
+func TestMemCampaignWarmStartDeterministic(t *testing.T) {
+	opts := MemCampaignOptions{
+		KV:        kvBase(core.ModeLC, 3),
+		Trials:    4,
+		Seed:      5,
+		WarmStart: true,
+		Workers:   4,
+	}
+	a, err := MemCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MemCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("warm campaign not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Injected == 0 {
+		t.Fatal("warm trials injected nothing")
+	}
+	t.Logf("tally: %+v -> %v", a.Counts, a.Categories())
+}
+
+// benchKV is the warm-start quick configuration: a large preload (the
+// part a warm fork skips) followed by a short injection-heavy run phase.
+func benchKV() harness.KVOptions {
+	kv := kvBase(core.ModeLC, 2)
+	kv.Records = 4000
+	kv.Operations = 20
+	return kv
+}
+
+func benchTemplate(b *testing.B, warm bool, kv harness.KVOptions, seed uint64) []byte {
+	if !warm {
+		return nil
+	}
+	tmpl, err := WarmTemplate(kv, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tmpl
+}
+
+func benchHardCampaign(b *testing.B, warm bool) {
+	opts := HardCampaignOptions{
+		KV:             benchKV(),
+		Classes:        []FaultClass{ClassTransient},
+		TrialsPerClass: b.N,
+		Seed:           11,
+		WarmStart:      warm,
+		Template:       benchTemplate(b, warm, benchKV(), 11),
+		Workers:        1,
+	}
+	b.ResetTimer()
+	got, err := HardCampaign(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	var trials uint64
+	for _, c := range got[ClassTransient].Counts {
+		trials += c
+	}
+	if trials != uint64(b.N) {
+		b.Fatalf("tally lost trials: %d of %d", trials, b.N)
+	}
+}
+
+func BenchmarkHardCampaignCold(b *testing.B) { benchHardCampaign(b, false) }
+func BenchmarkHardCampaignWarm(b *testing.B) { benchHardCampaign(b, true) }
+
+func benchMemCampaign(b *testing.B, warm bool) {
+	opts := MemCampaignOptions{
+		KV:        benchKV(),
+		Trials:    b.N,
+		Seed:      5,
+		WarmStart: warm,
+		Template:  benchTemplate(b, warm, benchKV(), 5),
+		Workers:   1,
+	}
+	b.ResetTimer()
+	if _, err := MemCampaign(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkMemCampaignCold(b *testing.B) { benchMemCampaign(b, false) }
+func BenchmarkMemCampaignWarm(b *testing.B) { benchMemCampaign(b, true) }

@@ -342,6 +342,11 @@ func (r *KVRun) Done() bool {
 	return r.loadLeft == 0 && r.opsDone >= r.opts.Operations
 }
 
+// LoadPhaseDone reports whether the preload phase completed (every record
+// inserted and acknowledged). Warm-start campaigns checkpoint here: the
+// run phase beyond this point is where faults are injected.
+func (r *KVRun) LoadPhaseDone() bool { return r.loadLeft == 0 }
+
 // StepChunk advances the machine by n cycles, pumping the client.
 func (r *KVRun) StepChunk(n uint64) {
 	r.fill()

@@ -23,7 +23,7 @@ type coreSnapshot struct {
 	traps        []Trap
 }
 
-func snapshot(m *Machine, h *testHandler) coreSnapshot {
+func takeSnapshot(m *Machine, h *testHandler) coreSnapshot {
 	c := m.Core(0)
 	return coreSnapshot{
 		regs:         c.Regs,
@@ -95,7 +95,7 @@ func TestExecCacheSelfModifyingCode(t *testing.T) {
 	got := differential(t, func(t *testing.T, m *Machine) coreSnapshot {
 		h := loadProg(t, m, b)
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.regs[5] != 101 {
 		t.Fatalf("r5 = %d, want 101 (second pass must execute the patched instruction)", got.regs[5])
@@ -124,7 +124,7 @@ func TestExecCacheBitFlipInText(t *testing.T) {
 			t.Fatal(err)
 		}
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.traps[0].Kind != TrapIllegal {
 		t.Fatalf("trap = %v, want illegal instruction", got.traps[0].Kind)
@@ -160,7 +160,7 @@ func TestExecCacheDMAInvalidation(t *testing.T) {
 		enc := isa.Encode(isa.Instr{Op: isa.OpAddi, Rd: 5, Rs1: 5, Imm: 100})
 		copy(win, enc[:])
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.traps[0].Kind != TrapHalt {
 		t.Fatalf("trap = %v, want halt", got.traps[0].Kind)
@@ -216,7 +216,7 @@ func TestExecCacheRemapInvalidation(t *testing.T) {
 		as.Segs[1].PBase = 0xB000
 		as.Invalidate()
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.regs[5] != 222 {
 		t.Fatalf("r5 = %d, want 222 (loads after remap must read copy B)", got.regs[5])
@@ -262,7 +262,7 @@ func TestExecCacheOverlapFallback(t *testing.T) {
 		m.SetHandler(h)
 		m.StartCore(0, 0, as)
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.regs[5] != 111 {
 		t.Fatalf("r5 = %d, want 111 (first matching segment must win)", got.regs[5])

@@ -101,7 +101,7 @@ func TestStuckBitExecCache(t *testing.T) {
 			t.Fatal(err)
 		}
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.traps[0].Kind != TrapIllegal {
 		t.Fatalf("trap = %v, want illegal instruction", got.traps[0].Kind)
@@ -129,7 +129,7 @@ func TestStuckBitGuestStoreCannotClear(t *testing.T) {
 		}
 		h := loadProg(t, m, b)
 		run(t, m, h)
-		return snapshot(m, h)
+		return takeSnapshot(m, h)
 	})
 	if got.regs[3] != 1<<5 {
 		t.Fatalf("loaded %#x, want %#x (stuck bit asserted through the store)", got.regs[3], uint64(1)<<5)

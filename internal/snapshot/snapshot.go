@@ -1,0 +1,487 @@
+// Package snapshot implements the checkpoint/restore serialization
+// boundary: a versioned, deterministic binary format for the complete
+// simulated state of a replicated system — machine, kernels, devices,
+// replication control state, and harness-level client state.
+//
+// The format is a flat sequence of named sections. Each layer of the
+// system contributes its own sections through the Snapshotter interface,
+// so the file composes the same way the system does: the machine writes
+// "machine"/"mem"/"core.N"/"bus"/"dev.N", each replica kernel writes
+// "kernel.N", the replication layer writes "sys"/"trace"/"metrics", and
+// the KV harness adds "scenario"/"kv"/"workload" on top.
+//
+// Determinism is a format-level guarantee: encoding the same state twice
+// yields byte-identical files (all maps are serialized in sorted order by
+// their owners), and a save→restore→save round trip is byte-identical
+// too. The differential determinism suite relies on both properties.
+//
+// Layout (all integers little-endian):
+//
+//	[8]byte  magic "RCOESNP\x01"
+//	uint32   format version (currently 1)
+//	uint32   section count
+//	per section:
+//	  uint32 name length, name bytes
+//	  uint64 payload length, payload bytes
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+var magic = [8]byte{'R', 'C', 'O', 'E', 'S', 'N', 'P', 1}
+
+// ErrBadSnapshot reports a corrupt, truncated or foreign snapshot.
+var ErrBadSnapshot = errors.New("snapshot: bad snapshot")
+
+// ErrIncompatible reports a snapshot that parsed correctly but cannot be
+// restored into the given target system (config mismatch, missing
+// section, device list mismatch).
+var ErrIncompatible = errors.New("snapshot: incompatible restore target")
+
+// IncompatibleError builds an ErrIncompatible-wrapped mismatch report for
+// one field of one section.
+func IncompatibleError(section, field string, target, snap interface{}) error {
+	return fmt.Errorf("%w: %s: %s: snapshot has %v, target has %v",
+		ErrIncompatible, section, field, snap, target)
+}
+
+// Snapshotter is implemented by every layer that owns serializable
+// simulated state. SaveState appends the layer's sections to the writer;
+// LoadState reads them back from a parsed snapshot. Restoring is only
+// defined against a structurally identical, freshly constructed target
+// (same configuration, program, and device registration order): derived
+// host-side state — execution caches, page generations, park closures —
+// is reconstructed by the owner, not serialized.
+type Snapshotter interface {
+	SaveState(w *Writer) error
+	LoadState(s *Snapshot) error
+}
+
+// Section is one named payload of a parsed snapshot.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Writer accumulates sections and serializes them. Errors latch: after
+// the first failure every call is a no-op and Bytes returns the error.
+type Writer struct {
+	sections []Section
+	cur      *Enc
+	curName  string
+	err      error
+}
+
+// NewWriter returns an empty snapshot writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Section begins a new named section and returns its encoder. The
+// previous section, if any, is finalized. Section names must be unique
+// within one snapshot.
+func (w *Writer) Section(name string) *Enc {
+	w.flush()
+	if w.err == nil {
+		for _, s := range w.sections {
+			if s.Name == name {
+				w.err = fmt.Errorf("snapshot: duplicate section %q", name)
+			}
+		}
+	}
+	w.cur = &Enc{}
+	w.curName = name
+	return w.cur
+}
+
+func (w *Writer) flush() {
+	if w.cur == nil {
+		return
+	}
+	w.sections = append(w.sections, Section{Name: w.curName, Data: w.cur.buf})
+	w.cur = nil
+}
+
+// Err returns the first error the writer latched.
+func (w *Writer) Err() error { return w.err }
+
+// Bytes finalizes the snapshot and returns its serialized form.
+func (w *Writer) Bytes() ([]byte, error) {
+	w.flush()
+	if w.err != nil {
+		return nil, w.err
+	}
+	size := len(magic) + 8
+	for _, s := range w.sections {
+		size += 4 + len(s.Name) + 8 + len(s.Data)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(w.sections)))
+	for _, s := range w.sections {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Name)))
+		out = append(out, s.Name...)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s.Data)))
+		out = append(out, s.Data...)
+	}
+	return out, nil
+}
+
+// Snapshot is a parsed snapshot: an ordered list of named sections.
+type Snapshot struct {
+	sections []Section
+	index    map[string]int
+}
+
+// Parse reads a serialized snapshot.
+func Parse(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	var m [8]byte
+	copy(m[:], data)
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	ver := binary.LittleEndian.Uint32(data[8:])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrBadSnapshot, ver, Version)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:]))
+	if count < 0 || count > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadSnapshot, count)
+	}
+	snap := &Snapshot{index: make(map[string]int, count)}
+	off := 16
+	for i := 0; i < count; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated section header", ErrBadSnapshot)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if nameLen < 0 || off+nameLen+8 > len(data) {
+			return nil, fmt.Errorf("%w: truncated section name", ErrBadSnapshot)
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		payLen := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if payLen > uint64(len(data)-off) {
+			return nil, fmt.Errorf("%w: section %q claims %d bytes, %d remain", ErrBadSnapshot, name, payLen, len(data)-off)
+		}
+		if _, dup := snap.index[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrBadSnapshot, name)
+		}
+		snap.index[name] = len(snap.sections)
+		snap.sections = append(snap.sections, Section{Name: name, Data: data[off : off+int(payLen)]})
+		off += int(payLen)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data)-off)
+	}
+	return snap, nil
+}
+
+// Sections returns the sections in file order.
+func (s *Snapshot) Sections() []Section { return s.sections }
+
+// Has reports whether a section exists.
+func (s *Snapshot) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// Section returns a decoder over the named section, or an error when the
+// snapshot has no such section.
+func (s *Snapshot) Section(name string) (*Dec, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section %q", ErrIncompatible, name)
+	}
+	return &Dec{buf: s.sections[i].Data, name: name}, nil
+}
+
+// Enc encodes one section's payload. All writes append; there is no
+// error state because appends cannot fail.
+type Enc struct {
+	buf []byte
+}
+
+// U64 appends one unsigned 64-bit word.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends one signed 64-bit word.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as a 64-bit word.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a boolean as one word.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U64(1)
+	} else {
+		e.U64(0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (e *Enc) Bytes(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// U64s appends a length-prefixed slice of words.
+func (e *Enc) U64s(vs []uint64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.U64(v)
+	}
+}
+
+// SortedU64Map appends a map in ascending key order — the format-level
+// determinism rule for map-shaped state.
+func (e *Enc) SortedU64Map(m map[uint64]uint64) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.U64(uint64(len(keys)))
+	for _, k := range keys {
+		e.U64(k)
+		e.U64(m[k])
+	}
+}
+
+// Dec decodes one section's payload. Errors latch: after the first
+// failed read every subsequent read returns zero values, and Err reports
+// the failure. Callers check Err once after decoding a section.
+type Dec struct {
+	buf  []byte
+	off  int
+	name string
+	err  error
+}
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: section %q: %s", ErrBadSnapshot, d.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first decode error.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the undecoded byte count.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+// Close verifies the section was fully consumed.
+func (d *Dec) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		d.fail("%d trailing bytes", len(d.buf)-d.off)
+	}
+	return d.err
+}
+
+// U64 reads one unsigned 64-bit word.
+func (d *Dec) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads one signed 64-bit word.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int-sized word.
+func (d *Dec) Int() int { return int(d.I64()) }
+
+// Bool reads one boolean word.
+func (d *Dec) Bool() bool { return d.U64() != 0 }
+
+// Bytes reads a length-prefixed byte string.
+func (d *Dec) Bytes() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("byte string claims %d bytes, %d remain", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out
+}
+
+// BytesView returns the next length-prefixed byte string as a view into
+// the decoder's backing buffer, without copying. The view is only valid
+// while the snapshot's buffer is live; callers that retain the data must
+// use Bytes. Intended for bulk payloads (memory pages) that are copied
+// straight into their destination.
+func (d *Dec) BytesView() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("byte string claims %d bytes, %d remain", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// U64s reads a length-prefixed word slice.
+func (d *Dec) U64s() []uint64 {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64((len(d.buf)-d.off)/8) {
+		d.fail("word slice claims %d words, %d bytes remain", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.U64()
+	}
+	return out
+}
+
+// SortedU64Map reads a map written by Enc.SortedU64Map.
+func (d *Dec) SortedU64Map() map[uint64]uint64 {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64((len(d.buf)-d.off)/16) {
+		d.fail("map claims %d entries, %d bytes remain", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := make(map[uint64]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		k := d.U64()
+		out[k] = d.U64()
+	}
+	return out
+}
+
+// Save serializes a Snapshotter's state to bytes.
+func Save(s Snapshotter) ([]byte, error) {
+	w := NewWriter()
+	if err := s.SaveState(w); err != nil {
+		return nil, err
+	}
+	return w.Bytes()
+}
+
+// Restore parses data and loads it into target. The target must be a
+// structurally identical, freshly constructed system.
+func Restore(target Snapshotter, data []byte) error {
+	snap, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	return target.LoadState(snap)
+}
+
+// SaveFile writes a Snapshotter's state to path.
+func SaveFile(path string, s Snapshotter) error {
+	data, err := Save(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile parses a snapshot file.
+func LoadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// RestoreFile loads a snapshot file into target.
+func RestoreFile(path string, target Snapshotter) error {
+	snap, err := LoadFile(path)
+	if err != nil {
+		return err
+	}
+	return target.LoadState(snap)
+}
+
+// Diff compares two parsed snapshots section by section and returns a
+// human-readable summary of the differences (empty when identical).
+func Diff(a, b *Snapshot) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, sa := range a.sections {
+		seen[sa.Name] = true
+		ib, ok := b.index[sa.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("section %q only in first snapshot (%d bytes)", sa.Name, len(sa.Data)))
+			continue
+		}
+		sb := b.sections[ib]
+		if len(sa.Data) != len(sb.Data) {
+			out = append(out, fmt.Sprintf("section %q differs: %d vs %d bytes", sa.Name, len(sa.Data), len(sb.Data)))
+			continue
+		}
+		for i := range sa.Data {
+			if sa.Data[i] != sb.Data[i] {
+				out = append(out, fmt.Sprintf("section %q differs at byte %d (%d bytes total)", sa.Name, i, len(sa.Data)))
+				break
+			}
+		}
+	}
+	for _, sb := range b.sections {
+		if !seen[sb.Name] {
+			out = append(out, fmt.Sprintf("section %q only in second snapshot (%d bytes)", sb.Name, len(sb.Data)))
+		}
+	}
+	return out
+}
+
+// WriteTo streams a serialized snapshot to w (a convenience for CLIs
+// that already hold the bytes).
+func WriteTo(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
