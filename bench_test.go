@@ -139,25 +139,27 @@ func BenchmarkIdleFastForward(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, true) })
 }
 
-// BenchmarkExecHotLoop measures the execution cache (predecoded
-// instructions + translation memos + allocation-free fetch) on an
-// instruction-dense workload: Table II's Dhrystone under LC-DMR, where
+// BenchmarkExecHotLoop measures the host-side execution accelerators on
+// an instruction-dense workload: Table II's Dhrystone under LC-DMR, where
 // nearly every simulated cycle retires a replicated instruction and idle
-// fast-forward has nothing to skip. "on" is the shipping default; "off"
-// forces the naive translate/read/decode path per instruction. The two
-// produce bit-identical simulations (see the TestDeterminism differential
-// suite); only host time differs. EXPERIMENTS.md records the measured
-// speedup and hit rates.
+// fast-forward has nothing to skip. "on" is the shipping default
+// (superblock engine + execution cache); "ec" is the PR-5 configuration
+// (execution cache only) — the baseline the superblock speedup is quoted
+// against; "sb" is the superblock engine alone; "off" is the naive
+// translate/read/decode path per instruction. All four produce
+// bit-identical simulations (see the TestDeterminism differential suite);
+// only host time differs. EXPERIMENTS.md records the measured speedups
+// and hit rates.
 func BenchmarkExecHotLoop(b *testing.B) {
-	run := func(b *testing.B, disable bool) {
+	run := func(b *testing.B, noEC, noSB bool) {
 		for i := 0; i < b.N; i++ {
 			// Construction (memory arena, kernels, program load) is
-			// identical in both modes and not what this benchmark measures;
+			// identical in all modes and not what this benchmark measures;
 			// keep only the execution loop on the clock.
 			b.StopTimer()
 			sys, err := rcoe.BuildSystem(rcoe.Config{
 				Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 20_000,
-				DisableExecCache: disable,
+				DisableExecCache: noEC, DisableSuperblock: noSB,
 			}, rcoe.Dhrystone(10_000))
 			if err != nil {
 				b.Fatal(err)
@@ -166,13 +168,23 @@ func BenchmarkExecHotLoop(b *testing.B) {
 			if err := sys.Run(3_000_000_000); err != nil {
 				b.Fatal(err)
 			}
-			if i == b.N-1 && !disable {
-				s := sys.Machine().ExecCacheStats()
-				b.ReportMetric(s.DecodeHitRate()*100, "decode-hit-%")
-				b.ReportMetric(s.TLBHitRate()*100, "tlb-hit-%")
+			if i == b.N-1 {
+				if !noEC && noSB {
+					// Icache stats are only meaningful when the batch
+					// path isn't bypassing the per-instruction fetch.
+					s := sys.Machine().ExecCacheStats()
+					b.ReportMetric(s.DecodeHitRate()*100, "decode-hit-%")
+					b.ReportMetric(s.TLBHitRate()*100, "tlb-hit-%")
+				}
+				if !noSB {
+					s := sys.Machine().SuperblockStats()
+					b.ReportMetric(s.HitRate()*100, "block-hit-%")
+				}
 			}
 		}
 	}
-	b.Run("on", func(b *testing.B) { run(b, false) })
-	b.Run("off", func(b *testing.B) { run(b, true) })
+	b.Run("on", func(b *testing.B) { run(b, false, false) })
+	b.Run("ec", func(b *testing.B) { run(b, false, true) })
+	b.Run("sb", func(b *testing.B) { run(b, true, false) })
+	b.Run("off", func(b *testing.B) { run(b, true, true) })
 }

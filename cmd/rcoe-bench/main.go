@@ -3,7 +3,7 @@
 // Usage:
 //
 //	rcoe-bench [-scale quick|full] [-parallel N] [-json] [-out FILE]
-//	           [-list] [-no-fastforward] [-no-execcache]
+//	           [-list] [-no-fastforward] [-no-execcache] [-no-superblock]
 //	           [-cpuprofile FILE] [-memprofile FILE] [experiment ...]
 //
 // With no experiment IDs it runs everything in paper order. Each
@@ -25,8 +25,10 @@
 // determinism contract); the flag exists so CI can cross-check the two
 // modes and so suspected fast-forward drift can be debugged in the field.
 // -no-execcache likewise disables the host-side execution cache
-// (predecoded instructions + translation memos) under the same
-// bit-identical contract.
+// (predecoded instructions + translation memos) and -no-superblock the
+// superblock engine (batched straight-line execution), both under the
+// same bit-identical contract; CI diffs artifacts across all eight
+// on/off combinations.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run (see
 // "Profiling the simulator" in EXPERIMENTS.md).
@@ -57,6 +59,7 @@ func run() int {
 	outFile := flag.String("out", "", "write the artifact to FILE (progress goes to stderr)")
 	noFF := flag.Bool("no-fastforward", false, "step every cycle naively instead of fast-forwarding idle windows")
 	noEC := flag.Bool("no-execcache", false, "disable the host-side execution cache (predecode + translation memos)")
+	noSB := flag.Bool("no-superblock", false, "disable the superblock engine (batched straight-line execution)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	flag.Parse()
@@ -66,6 +69,9 @@ func run() int {
 	}
 	if *noEC {
 		machine.SetDefaultExecCache(false)
+	}
+	if *noSB {
+		machine.SetDefaultSuperblock(false)
 	}
 	exp.SetDefaultWorkers(*parallel)
 

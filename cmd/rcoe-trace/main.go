@@ -327,4 +327,3 @@ func kindNames(kinds []trace.Kind) []string {
 	}
 	return out
 }
-

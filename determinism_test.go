@@ -14,24 +14,39 @@ import (
 
 // These differential tests are the host-optimisation determinism
 // contract: for every tier-1 scenario, a run with the event-driven idle
-// skip and/or the execution cache (predecoded instructions + translation
-// memos) enabled must be bit-identical — final machine cycle, per-core
-// counters and registers, kernel signatures, detections, stats, metrics —
-// to the same run stepped naively cycle by cycle with every cache off.
-// Any drift means an optimisation skipped or memoised something the naive
+// skip, the execution cache (predecoded instructions + translation
+// memos), and/or the superblock engine (batched straight-line execution)
+// enabled must be bit-identical — final machine cycle, per-core counters
+// and registers, kernel signatures, detections, stats, metrics — to the
+// same run stepped naively cycle by cycle with every cache off. Any
+// drift means an optimisation skipped or memoised something the naive
 // loop would have observed differently.
 
-// hostVariants enumerates the host-optimisation combinations each
+// hostVariant is one corner of the {fast-forward × exec-cache ×
+// superblock} accelerator cube.
+type hostVariant struct {
+	name             string
+	noFF, noEC, noSB bool
+}
+
+func (v hostVariant) apply(cfg *rcoe.Config) {
+	cfg.DisableFastForward = v.noFF
+	cfg.DisableExecCache = v.noEC
+	cfg.DisableSuperblock = v.noSB
+}
+
+// hostVariants enumerates all eight host-optimisation combinations each
 // scenario runs under. The first entry is the baseline everything-on
 // configuration the others are compared against.
-var hostVariants = []struct {
-	name       string
-	noFF, noEC bool
-}{
-	{"all-on", false, false},
-	{"no-fastforward", true, false},
-	{"no-execcache", false, true},
-	{"naive", true, true},
+var hostVariants = []hostVariant{
+	{"all-on", false, false, false},
+	{"no-fastforward", true, false, false},
+	{"no-execcache", false, true, false},
+	{"no-superblock", false, false, true},
+	{"no-ff-no-ec", true, true, false},
+	{"no-ff-no-sb", true, false, true},
+	{"no-ec-no-sb", false, true, true},
+	{"naive", true, true, true},
 }
 
 // systemFingerprint renders everything observable about a finished system
@@ -100,22 +115,21 @@ func TestDeterminismTable2Kernels(t *testing.T) {
 	for _, p := range programs {
 		for _, c := range configs {
 			t.Run(p.name+"/"+c.name, func(t *testing.T) {
-				run := func(noFF, noEC bool) string {
+				run := func(v hostVariant) string {
 					cfg := c.cfg
-					cfg.DisableFastForward = noFF
-					cfg.DisableExecCache = noEC
+					v.apply(&cfg)
 					sys, err := rcoe.BuildSystem(cfg, p.prog)
 					if err != nil {
 						t.Fatal(err)
 					}
 					if err := sys.Run(500_000_000); err != nil {
-						t.Fatalf("run (noFF=%v noEC=%v): %v", noFF, noEC, err)
+						t.Fatalf("run (%s): %v", v.name, err)
 					}
 					return systemFingerprint(sys)
 				}
-				base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+				base := run(hostVariants[0])
 				for _, v := range hostVariants[1:] {
-					assertIdentical(t, p.name+"/"+c.name+"/"+v.name, base, run(v.noFF, v.noEC))
+					assertIdentical(t, p.name+"/"+c.name+"/"+v.name, base, run(v))
 				}
 			})
 		}
@@ -123,16 +137,16 @@ func TestDeterminismTable2Kernels(t *testing.T) {
 }
 
 func TestDeterminismKVUnderYCSB(t *testing.T) {
-	run := func(noFF, noEC bool) (harness.KVResult, string) {
+	run := func(v hostVariant) (harness.KVResult, string) {
+		cfg := rcoe.Config{
+			Mode:       rcoe.ModeLC,
+			Replicas:   3,
+			TickCycles: 50_000,
+			Trace:      rcoe.TraceConfig{Enabled: true},
+		}
+		v.apply(&cfg)
 		opts := harness.KVOptions{
-			System: rcoe.Config{
-				Mode:               rcoe.ModeLC,
-				Replicas:           3,
-				TickCycles:         50_000,
-				DisableFastForward: noFF,
-				DisableExecCache:   noEC,
-				Trace:              rcoe.TraceConfig{Enabled: true},
-			},
+			System:     cfg,
 			Workload:   workload.YCSBA,
 			Records:    40,
 			Operations: 80,
@@ -144,13 +158,13 @@ func TestDeterminismKVUnderYCSB(t *testing.T) {
 		}
 		res, err := kv.Run()
 		if err != nil {
-			t.Fatalf("kv run (noFF=%v noEC=%v): %v", noFF, noEC, err)
+			t.Fatalf("kv run (%s): %v", v.name, err)
 		}
 		return res, systemFingerprint(kv.Sys)
 	}
-	baseRes, baseFP := run(hostVariants[0].noFF, hostVariants[0].noEC)
+	baseRes, baseFP := run(hostVariants[0])
 	for _, v := range hostVariants[1:] {
-		res, fp := run(v.noFF, v.noEC)
+		res, fp := run(v)
 		assertIdentical(t, "kv-ycsba/"+v.name, baseFP, fp)
 		if !reflect.DeepEqual(baseRes, res) {
 			t.Fatalf("KV results diverged (%s):\nbase: %+v\ngot:  %+v", v.name, baseRes, res)
@@ -159,16 +173,15 @@ func TestDeterminismKVUnderYCSB(t *testing.T) {
 }
 
 func TestDeterminismMaskingDowngrade(t *testing.T) {
-	run := func(noFF, noEC bool) string {
+	run := func(v hostVariant) string {
 		cfg := rcoe.Config{
-			Mode:               rcoe.ModeLC,
-			Replicas:           3,
-			Masking:            true,
-			TickCycles:         20_000,
-			BarrierTimeout:     200_000,
-			DisableFastForward: noFF,
-			DisableExecCache:   noEC,
+			Mode:           rcoe.ModeLC,
+			Replicas:       3,
+			Masking:        true,
+			TickCycles:     20_000,
+			BarrierTimeout: 200_000,
 		}
+		v.apply(&cfg)
 		sys, err := rcoe.BuildSystem(cfg, rcoe.Dhrystone(20_000))
 		if err != nil {
 			t.Fatal(err)
@@ -176,16 +189,16 @@ func TestDeterminismMaskingDowngrade(t *testing.T) {
 		sys.RunCycles(50_000)
 		sys.InjectStall(2)
 		if err := sys.Run(500_000_000); err != nil {
-			t.Fatalf("run (noFF=%v noEC=%v): %v", noFF, noEC, err)
+			t.Fatalf("run (%s): %v", v.name, err)
 		}
 		if len(sys.Detections()) == 0 {
-			t.Fatalf("stall produced no detection (noFF=%v noEC=%v)", noFF, noEC)
+			t.Fatalf("stall produced no detection (%s)", v.name)
 		}
 		return systemFingerprint(sys)
 	}
-	base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+	base := run(hostVariants[0])
 	for _, v := range hostVariants[1:] {
-		assertIdentical(t, "masking-downgrade/"+v.name, base, run(v.noFF, v.noEC))
+		assertIdentical(t, "masking-downgrade/"+v.name, base, run(v))
 	}
 }
 
@@ -193,20 +206,22 @@ func TestDeterminismSoakCycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("naive-mode soak is slow")
 	}
-	run := func(noFF, noEC bool) faults.SoakResult {
+	run := func(v hostVariant) faults.SoakResult {
+		var cfg rcoe.Config
+		v.apply(&cfg)
 		res, err := rcoe.Soak(rcoe.SoakOptions{
-			System: rcoe.Config{DisableFastForward: noFF, DisableExecCache: noEC},
+			System: cfg,
 			Cycles: 2,
 			Seed:   5,
 		})
 		if err != nil {
-			t.Fatalf("soak (noFF=%v noEC=%v): %v", noFF, noEC, err)
+			t.Fatalf("soak (%s): %v", v.name, err)
 		}
 		return res
 	}
-	base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+	base := run(hostVariants[0])
 	for _, v := range hostVariants[1:] {
-		got := run(v.noFF, v.noEC)
+		got := run(v)
 		if !reflect.DeepEqual(base, got) {
 			t.Fatalf("soak campaigns diverged (%s):\nbase: cycles=%+v windows=%v ops=%d violations=%v\ngot:  cycles=%+v windows=%v ops=%d violations=%v",
 				v.name, base.Cycles, base.Windows, base.Ops, base.Violations,
@@ -217,18 +232,20 @@ func TestDeterminismSoakCycle(t *testing.T) {
 
 // TestDeterminismFaultCampaigns runs shortened versions of the Table VII
 // memory and Table VIII register fault-injection studies with the
-// execution cache on and off. Fault injection exercises the invalidation
-// protocol hardest — bit-flips land in live instruction bytes — so the
-// tallies must be byte-identical across modes.
+// execution cache and the superblock engine toggled. Fault injection
+// exercises the invalidation protocols hardest — bit-flips land in live
+// instruction bytes, sometimes under a cached superblock mid-batch — so
+// the tallies must be byte-identical across modes.
 func TestDeterminismFaultCampaigns(t *testing.T) {
-	memRun := func(noEC bool) *faults.Tally {
+	memRun := func(noEC, noSB bool) *faults.Tally {
 		tally, err := rcoe.MemCampaign(rcoe.MemCampaignOptions{
 			KV: harness.KVOptions{
 				System: rcoe.Config{
-					Mode:             rcoe.ModeLC,
-					Replicas:         3,
-					TickCycles:       50_000,
-					DisableExecCache: noEC,
+					Mode:              rcoe.ModeLC,
+					Replicas:          3,
+					TickCycles:        50_000,
+					DisableExecCache:  noEC,
+					DisableSuperblock: noSB,
 				},
 				Workload:   workload.YCSBA,
 				Records:    20,
@@ -241,33 +258,42 @@ func TestDeterminismFaultCampaigns(t *testing.T) {
 			Seed:            21,
 		})
 		if err != nil {
-			t.Fatalf("mem campaign (noEC=%v): %v", noEC, err)
+			t.Fatalf("mem campaign (noEC=%v noSB=%v): %v", noEC, noSB, err)
 		}
 		return tally
 	}
-	if base, got := memRun(false), memRun(true); !reflect.DeepEqual(base, got) {
-		t.Fatalf("mem campaign tallies diverged:\ncached: %+v\nnaive:  %+v", base, got)
+	memBase := memRun(false, false)
+	if got := memRun(true, false); !reflect.DeepEqual(memBase, got) {
+		t.Fatalf("mem campaign tallies diverged (no-execcache):\ncached: %+v\nnaive:  %+v", memBase, got)
+	}
+	if got := memRun(false, true); !reflect.DeepEqual(memBase, got) {
+		t.Fatalf("mem campaign tallies diverged (no-superblock):\nbatched: %+v\nstepped: %+v", memBase, got)
 	}
 
-	regRun := func(noEC bool) faults.RegTally {
+	regRun := func(noEC, noSB bool) faults.RegTally {
 		tally, err := rcoe.RegCampaign(rcoe.RegCampaignOptions{
 			System: rcoe.Config{
-				Mode:             rcoe.ModeCC,
-				Replicas:         2,
-				TickCycles:       50_000,
-				DisableExecCache: noEC,
+				Mode:              rcoe.ModeCC,
+				Replicas:          2,
+				TickCycles:        50_000,
+				DisableExecCache:  noEC,
+				DisableSuperblock: noSB,
 			},
 			MessageBytes: 512,
 			Trials:       6,
 			Seed:         33,
 		})
 		if err != nil {
-			t.Fatalf("reg campaign (noEC=%v): %v", noEC, err)
+			t.Fatalf("reg campaign (noEC=%v noSB=%v): %v", noEC, noSB, err)
 		}
 		return tally
 	}
-	if base, got := regRun(false), regRun(true); !reflect.DeepEqual(base, got) {
-		t.Fatalf("reg campaign tallies diverged:\ncached: %+v\nnaive:  %+v", base, got)
+	regBase := regRun(false, false)
+	if got := regRun(true, false); !reflect.DeepEqual(regBase, got) {
+		t.Fatalf("reg campaign tallies diverged (no-execcache):\ncached: %+v\nnaive:  %+v", regBase, got)
+	}
+	if got := regRun(false, true); !reflect.DeepEqual(regBase, got) {
+		t.Fatalf("reg campaign tallies diverged (no-superblock):\nbatched: %+v\nstepped: %+v", regBase, got)
 	}
 }
 
@@ -286,18 +312,18 @@ func TestDeterminismHardFaultMatrix(t *testing.T) {
 			name = "decorrelated"
 		}
 		t.Run(name, func(t *testing.T) {
-			run := func(noFF, noEC bool) map[rcoe.FaultClass]*faults.Tally {
+			run := func(v hostVariant) map[rcoe.FaultClass]*faults.Tally {
+				cfg := rcoe.Config{
+					Mode:        rcoe.ModeLC,
+					Replicas:    3,
+					Masking:     true,
+					Decorrelate: decorr,
+					TickCycles:  50_000,
+				}
+				v.apply(&cfg)
 				tallies, err := rcoe.HardCampaign(rcoe.HardCampaignOptions{
 					KV: harness.KVOptions{
-						System: rcoe.Config{
-							Mode:               rcoe.ModeLC,
-							Replicas:           3,
-							Masking:            true,
-							Decorrelate:        decorr,
-							TickCycles:         50_000,
-							DisableFastForward: noFF,
-							DisableExecCache:   noEC,
-						},
+						System:     cfg,
 						Workload:   workload.YCSBA,
 						Records:    20,
 						Operations: 40,
@@ -306,13 +332,13 @@ func TestDeterminismHardFaultMatrix(t *testing.T) {
 					Seed:           17,
 				})
 				if err != nil {
-					t.Fatalf("hard campaign (noFF=%v noEC=%v): %v", noFF, noEC, err)
+					t.Fatalf("hard campaign (%s): %v", v.name, err)
 				}
 				return tallies
 			}
-			base := run(hostVariants[0].noFF, hostVariants[0].noEC)
+			base := run(hostVariants[0])
 			for _, v := range hostVariants[1:] {
-				if got := run(v.noFF, v.noEC); !reflect.DeepEqual(base, got) {
+				if got := run(v); !reflect.DeepEqual(base, got) {
 					t.Fatalf("hard-fault tallies diverged (%s):\nbase: %+v\ngot:  %+v",
 						v.name, base, got)
 				}

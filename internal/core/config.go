@@ -140,6 +140,12 @@ type Config struct {
 	// DisableFastForward, the two modes are bit-identical by contract,
 	// enforced by the differential determinism tests.
 	DisableExecCache bool
+	// DisableSuperblock turns off the machine's superblock engine (batched
+	// execution of predecoded straight-line runs) for this system, forcing
+	// per-cycle stepping. As with the other two accelerators, the modes
+	// are bit-identical by contract, enforced by the differential
+	// determinism tests across the full 8-variant cube.
+	DisableSuperblock bool
 	// Decorrelate gives each replica a structurally different memory
 	// layout: the data and stack segments' virtual bases are shifted by a
 	// distinct page-aligned per-replica delta, the physical placement

@@ -9,17 +9,19 @@ import (
 )
 
 // TestReintegrateTextRestoreExecCacheDifferential is the post-reintegration
-// text-divergence regression for the execution cache: the ejected
+// text-divergence regression for the execution caches: the ejected
 // replica's text is corrupted while it is offline (its cores predecoded
-// that text before ejection), then re-integration copies the donor's
-// partition back over it. A stale predecode entry surviving the partition
-// copy would execute the corrupted (or pre-corruption) instructions; the
-// run must instead complete identically with the cache on and off, with
-// every replica exiting cleanly from the restored text.
+// that text — and may hold superblocks over it — before ejection), then
+// re-integration copies the donor's partition back over it. A stale
+// predecode entry or cached block surviving the partition copy would
+// execute the corrupted (or pre-corruption) instructions; the run must
+// instead complete identically across every {exec-cache × superblock}
+// combination, with every replica exiting cleanly from the restored text.
 func TestReintegrateTextRestoreExecCacheDifferential(t *testing.T) {
-	run := func(noEC bool) string {
+	run := func(noEC, noSB bool) string {
 		sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20000,
-			Sig: SigArgs, Masking: true, DisableExecCache: noEC}, syscallLoop(t, 60_000))
+			Sig: SigArgs, Masking: true,
+			DisableExecCache: noEC, DisableSuperblock: noSB}, syscallLoop(t, 60_000))
 		sys.RunCycles(50_000)
 		lay := sys.Replica(2).K.Layout()
 		if err := sys.Machine().Mem().FlipBit(lay.SigPA()+8, 5); err != nil {
@@ -28,17 +30,17 @@ func TestReintegrateTextRestoreExecCacheDifferential(t *testing.T) {
 		if err := sys.Machine().RunUntil(func() bool {
 			return sys.AliveCount() == 2 || sys.halted
 		}, 400_000_000); err != nil {
-			t.Fatalf("downgrade never happened (noEC=%v): %v", noEC, err)
+			t.Fatalf("downgrade never happened (noEC=%v noSB=%v): %v", noEC, noSB, err)
 		}
 		if sys.halted {
-			t.Fatalf("system halted instead of masking (noEC=%v): %s", noEC, sys.haltReason)
+			t.Fatalf("system halted instead of masking (noEC=%v noSB=%v): %s", noEC, noSB, sys.haltReason)
 		}
 		// Corrupt the dead replica's first text instruction in place. The
 		// partition copy during re-integration must overwrite this — and
 		// invalidate any predecoded copy of the original.
 		pa, _, ok := sys.Replica(2).Core().AS.Translate(kernel.TextVA, 8, 0)
 		if !ok {
-			t.Fatalf("text VA unmapped on ejected replica (noEC=%v)", noEC)
+			t.Fatalf("text VA unmapped on ejected replica (noEC=%v noSB=%v)", noEC, noSB)
 		}
 		for bit := uint(0); bit < 8; bit++ {
 			if err := sys.Machine().Mem().FlipBit(pa, bit); err != nil {
@@ -46,12 +48,12 @@ func TestReintegrateTextRestoreExecCacheDifferential(t *testing.T) {
 			}
 		}
 		if err := sys.Reintegrate(2); err != nil {
-			t.Fatalf("reintegrate (noEC=%v): %v", noEC, err)
+			t.Fatalf("reintegrate (noEC=%v noSB=%v): %v", noEC, noSB, err)
 		}
 		mustFinish(t, sys, 2_000_000_000)
 		for rid := 0; rid < 3; rid++ {
 			if got := sys.Replica(rid).K.Thread(0).ExitCode; got != 0 {
-				t.Fatalf("replica %d exit = %d (noEC=%v)", rid, got, noEC)
+				t.Fatalf("replica %d exit = %d (noEC=%v noSB=%v)", rid, got, noEC, noSB)
 			}
 		}
 		// Render the observable outcome for the differential comparison.
@@ -65,8 +67,11 @@ func TestReintegrateTextRestoreExecCacheDifferential(t *testing.T) {
 		}
 		return out
 	}
-	cached, naive := run(false), run(true)
-	if !reflect.DeepEqual(cached, naive) {
-		t.Fatalf("post-reintegration runs diverged:\ncached:\n%s\nnaive:\n%s", cached, naive)
+	base := run(false, false)
+	for _, c := range []struct{ noEC, noSB bool }{{true, false}, {false, true}, {true, true}} {
+		if got := run(c.noEC, c.noSB); !reflect.DeepEqual(base, got) {
+			t.Fatalf("post-reintegration runs diverged (noEC=%v noSB=%v):\nall-on:\n%s\ngot:\n%s",
+				c.noEC, c.noSB, base, got)
+		}
 	}
 }

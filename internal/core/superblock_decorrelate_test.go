@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSuperblockDecorrelatedBlockSets pins the decorrelation edge of the
+// superblock engine: structurally decorrelated replicas run the same
+// program from different physical layouts, so their cores must build
+// *different* superblock sets (keyed by physical address) while the
+// replicas themselves stay in lockstep — identical execution signatures,
+// clean exits, and a vote that passes. A block cache keyed on anything
+// coarser than the true physical placement would alias across replicas
+// here and execute one replica's text on another.
+func TestSuperblockDecorrelatedBlockSets(t *testing.T) {
+	sys := newSys(t, Config{Mode: ModeLC, Replicas: 3, TickCycles: 20_000,
+		Sig: SigArgs, Masking: true, Decorrelate: true, LayoutSeed: 7},
+		syscallLoop(t, 60_000))
+	mustFinish(t, sys, 2_000_000_000)
+
+	ev0, sum0 := sys.Replica(0).K.Signature()
+	sets := make([]map[uint64]bool, 3)
+	for rid := 0; rid < 3; rid++ {
+		if got := sys.Replica(rid).K.Thread(0).ExitCode; got != 0 {
+			t.Fatalf("replica %d exit = %d", rid, got)
+		}
+		if ev, sum := sys.Replica(rid).K.Signature(); ev != ev0 || sum != sum0 {
+			t.Fatalf("replica %d signature (%d,%#x) != replica 0 (%d,%#x)",
+				rid, ev, sum, ev0, sum0)
+		}
+		pas := sys.Machine().BlockStartPAs(sys.Replica(rid).Core().ID)
+		if len(pas) == 0 {
+			t.Fatalf("replica %d built no superblocks; the engine never engaged", rid)
+		}
+		sets[rid] = make(map[uint64]bool, len(pas))
+		for _, pa := range pas {
+			sets[rid][pa] = true
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if reflect.DeepEqual(sets[a], sets[b]) {
+				t.Fatalf("replicas %d and %d cached identical block sets (%d blocks) despite decorrelated layouts",
+					a, b, len(sets[a]))
+			}
+		}
+	}
+}

@@ -161,6 +161,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.DisableExecCache {
 		m.SetExecCache(false)
 	}
+	if cfg.DisableSuperblock {
+		m.SetSuperblock(false)
+	}
 	sys := &System{
 		cfg: cfg,
 		m:   m,

@@ -196,6 +196,16 @@ func (n *NIC) NextEvent(now uint64) uint64 {
 	return machine.NoEvent
 }
 
+// WatchedMem implements machine.MemWatcher: NextEvent's answer depends on
+// the RX and TX mailbox flags, which the driver writes with plain stores
+// (the mailboxes are ordinary RAM, not MMIO). Declaring the whole DMA
+// region keeps the superblock engine's device horizon honest — a batched
+// store into it ends the batch so the next Tick sees the flag change on
+// the same cycle naive stepping would.
+func (n *NIC) WatchedMem() (lo, hi uint64) {
+	return n.dmaBase, n.dmaBase + txDataOff + MaxFrameBytes
+}
+
 // corruptBit draws the next seeded bit index for a frame of nbytes.
 func (n *NIC) corruptBit(nbytes uint64) uint64 {
 	if n.crng == 0 {

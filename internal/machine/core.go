@@ -246,6 +246,10 @@ type Core struct {
 	// while the core has never executed with caching enabled.
 	ec *execCache
 
+	// sb is the host-side superblock cache (superblock.go), lazily
+	// allocated like ec and likewise outside the snapshot state boundary.
+	sb *sbCache
+
 	m *Machine
 }
 
@@ -380,6 +384,7 @@ func (c *Core) memAccess(pa uint64, size int, write bool) bool {
 		ch.tags[idx] = line
 		ch.valid[idx] = true
 		ch.dirty[idx] = write
+		ch.gen++
 		c.AddStall(c.m.prof.Costs.MemMiss)
 		return true
 	}

@@ -295,6 +295,9 @@ func TestExecCacheHitPathAllocFree(t *testing.T) {
 func TestExecCacheStatsCount(t *testing.T) {
 	m := New(noJitter(X86()), 1<<16)
 	m.SetExecCache(true)
+	// The superblock engine bypasses the icache on its batched path;
+	// this test counts icache traffic specifically.
+	m.SetSuperblock(false)
 	b := asm.New()
 	b.Label("loop")
 	b.Addi(5, 5, 1)

@@ -34,6 +34,20 @@ type EventSource interface {
 	NextEvent(now uint64) uint64
 }
 
+// MemWatcher is implemented by devices whose NextEvent answer depends on
+// the contents of ordinary RAM — typically DMA mailbox flags that a
+// driver writes with plain stores rather than MMIO. Idle fast-forward
+// needs no such declaration (a fully idle window has no core stores), but
+// the superblock engine keeps cores executing under a horizon computed at
+// batch entry; a store into a watched range invalidates that horizon, so
+// the batch ends with the store's cycle and the device's next Tick runs
+// naively — observing the store exactly when per-cycle ticking would
+// have. Ranges may be declared conservatively wide; extra pages only cost
+// earlier batch exits, never correctness.
+type MemWatcher interface {
+	WatchedMem() (lo, hi uint64)
+}
+
 // NoEvent is the NextEvent / ParkWakeAt sentinel for "no time-driven event
 // pending".
 const NoEvent = ^uint64(0)
@@ -95,6 +109,10 @@ type Machine struct {
 	// state; the differential determinism suite compares fingerprints
 	// with it on and off.
 	execCache bool
+	// superblock enables the batched straight-line execution engine
+	// (superblock.go). Like the other two accelerators it is provably
+	// invisible to simulated state.
+	superblock bool
 	// stepIdle reports whether the most recent Step was fully idle: no
 	// core reached an issue opportunity and no parked core woke. Only
 	// after such a Step may fast-forward engage, which guarantees every
@@ -103,6 +121,25 @@ type Machine struct {
 	stepIdle bool
 	// ffSkipped counts cycles bulk-charged by fast-forward (diagnostics).
 	ffSkipped uint64
+
+	// sbExit is set by trap and the MMIO execution branches so the batched
+	// superblock loop can detect, immediately after exec returns, that the
+	// kernel or a device observed (and may have mutated) machine state.
+	// The naive paths never read it.
+	sbExit bool
+	// sbHold pins the machine to naive stepping until the given cycle
+	// after a failed block build (host-only cooldown heuristic).
+	sbHold uint64
+	// sbJumped counts stall-window cycles bulk-charged inside batches.
+	sbJumped uint64
+	// sbRun is the per-core batch state, allocated once.
+	sbRun []sbRunState
+	// watchGp points into mem.pageGen for every device-watched RAM page
+	// (MemWatcher); watchSnap holds their values at batch entry. A batched
+	// store that bumps a watched generation ends the batch with that cycle
+	// so the owning device's next Tick runs naively (see watchDirty).
+	watchGp   []*uint64
+	watchSnap []uint64
 }
 
 // defaultFastForward seeds Machine.fastForward in New. Package-level so
@@ -122,6 +159,15 @@ var defaultExecCache = true
 // execution cache (default true).
 func SetDefaultExecCache(on bool) { defaultExecCache = on }
 
+// defaultSuperblock seeds Machine.superblock in New, mirroring the other
+// accelerator defaults so command-line tools (-no-superblock) can flip it
+// before systems are built.
+var defaultSuperblock = true
+
+// SetDefaultSuperblock sets whether newly created machines use the
+// superblock engine (default true).
+func SetDefaultSuperblock(on bool) { defaultSuperblock = on }
+
 // New creates a machine with the given profile and physical memory size.
 // The trap handler (the kernel) must be set with SetHandler before Run.
 func New(prof Profile, memBytes int) *Machine {
@@ -131,6 +177,7 @@ func New(prof Profile, memBytes int) *Machine {
 		bus:         newBus(prof.BusBytesPerCycle),
 		fastForward: defaultFastForward,
 		execCache:   defaultExecCache,
+		superblock:  defaultSuperblock,
 		mmioLo:      ^uint64(0), // empty until MapMMIO
 	}
 	for i := 0; i < prof.Cores; i++ {
@@ -186,8 +233,15 @@ func (m *Machine) MapMMIO(base, size uint64, dev MMIOHandler) {
 	}
 }
 
-// AddDevice registers a device for per-cycle ticking.
-func (m *Machine) AddDevice(d Device) { m.devices = append(m.devices, d) }
+// AddDevice registers a device for per-cycle ticking. A device that also
+// implements MemWatcher has its declared RAM range registered with the
+// superblock engine (see watchMem).
+func (m *Machine) AddDevice(d Device) {
+	m.devices = append(m.devices, d)
+	if w, ok := d.(MemWatcher); ok {
+		m.watchMem(w.WatchedMem())
+	}
+}
 
 // RouteIRQ directs a device interrupt line to a core.
 func (m *Machine) RouteIRQ(line, coreID int) {
@@ -292,6 +346,15 @@ func (m *Machine) SetExecCache(on bool) { m.execCache = on }
 // ExecCacheEnabled reports whether the execution cache is enabled.
 func (m *Machine) ExecCacheEnabled() bool { return m.execCache }
 
+// SetSuperblock enables or disables the superblock engine for this
+// machine. Safe to flip at any point: blocks validate against mutation
+// generations on every use, never against "the engine was on the whole
+// time".
+func (m *Machine) SetSuperblock(on bool) { m.superblock = on }
+
+// SuperblockEnabled reports whether the superblock engine is enabled.
+func (m *Machine) SuperblockEnabled() bool { return m.superblock }
+
 // FastForwarded returns the total cycles bulk-charged by the idle skip
 // instead of being stepped naively.
 func (m *Machine) FastForwarded() uint64 { return m.ffSkipped }
@@ -305,11 +368,18 @@ func (m *Machine) Run(n uint64) {
 	// device queues) since the last Step; force one naive Step before any
 	// skip so such changes are observed exactly as the naive loop would.
 	m.stepIdle = false
-	for i := uint64(0); i < n; i++ {
+	for i := uint64(0); i < n; {
 		if m.fastForward && m.stepIdle && n-i > 1 {
 			i += m.skipIdle(n - i - 1)
 		}
+		if m.superblock && n-i > 1 {
+			if k := m.runBlocks(nil, n-i-1); k > 0 {
+				i += k
+				continue
+			}
+		}
 		m.Step()
+		i++
 	}
 }
 
@@ -329,6 +399,16 @@ func (m *Machine) RunUntil(cond func() bool, maxCycles uint64) error {
 		if m.fastForward && m.stepIdle {
 			if left := maxCycles - (m.now - start); left > 1 {
 				m.skipIdle(left - 1)
+			}
+		}
+		if m.superblock {
+			if left := maxCycles - (m.now - start); left > 1 {
+				// The batch evaluates cond before every cycle after its
+				// first, exactly as the naive loop does before every Step;
+				// looping back re-evaluates it before the next cycle too.
+				if m.runBlocks(cond, left-1) > 0 {
+					continue
+				}
 			}
 		}
 		m.Step()
@@ -461,6 +541,14 @@ func (m *Machine) advance(c *Core) {
 	// breakpoint, or execution all advance observable state): the cycle is
 	// not idle and fast-forward must not engage on top of it.
 	m.stepIdle = false
+	m.issue(c)
+}
+
+// issue runs one issue opportunity on a running, unstalled core: the
+// jitter draw, interrupt delivery, debug checks, and instruction
+// execution, in that order. Shared by the naive advance path and the
+// superblock engine's fall-back-to-naive cycles.
+func (m *Machine) issue(c *Core) {
 	if c.nextJitter(m.prof.JitterShift) {
 		return
 	}
@@ -490,6 +578,7 @@ var DebugPCWatch func(coreID int, pc, bpAddr uint64, bpEnabled, singleStep bool,
 // returns; user execution resumes on a later cycle (after any stall the
 // handler charged).
 func (m *Machine) trap(c *Core, t Trap) {
+	m.sbExit = true // the kernel may mutate anything; end any batch
 	if DebugTrace != nil {
 		DebugTrace(c.ID, t.Kind, t.PC, m.now)
 	}
@@ -526,7 +615,7 @@ func (m *Machine) execOne(c *Core) {
 	// Fast tail for the common case: no debug feature armed on this core,
 	// so the instruction either retires or retries — nothing to observe.
 	if !c.BP.Enabled && !c.BranchWatch.Enabled && !c.SingleStep {
-		if m.exec(c, ins) {
+		if m.exec(c, &ins) {
 			c.Instructions++
 		}
 		return
@@ -534,7 +623,7 @@ func (m *Machine) execOne(c *Core) {
 	atBP := c.BP.Enabled && c.PC == c.BP.Addr
 	prevPC := c.PC
 	branchesBefore := c.UserBranches
-	if !m.exec(c, ins) {
+	if !m.exec(c, &ins) {
 		return // bus stall mid-instruction; retry
 	}
 	c.Instructions++
@@ -639,9 +728,11 @@ func (m *Machine) xlate(c *Core, va uint64, n int, need Perm) (uint64, bool) {
 
 // exec executes a decoded instruction; it returns false if the core must
 // retry the same instruction next cycle (bus stall). All architectural
-// side effects happen only on the true path.
-func (m *Machine) exec(c *Core, ins isa.Instr) bool {
-	cost := m.prof.Costs
+// side effects happen only on the true path. The instruction is passed by
+// pointer purely to keep the per-instruction host cost down (the cost
+// table likewise); exec never mutates it.
+func (m *Machine) exec(c *Core, ins *isa.Instr) bool {
+	cost := &m.prof.Costs
 	nextPC := c.PC + isa.InstrBytes
 	switch ins.Op {
 	case isa.OpAdd:
@@ -727,6 +818,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 			return true
 		}
 		if dev, isMMIO := m.mmioAt(pa); isMMIO {
+			m.sbExit = true // device read may have side effects (IRQ, DMA)
 			c.setReg(ins.Rd, dev.MMIORead(pa, size))
 			c.AddStall(cost.MemMiss)
 			break
@@ -750,6 +842,7 @@ func (m *Machine) exec(c *Core, ins isa.Instr) bool {
 			return true
 		}
 		if dev, isMMIO := m.mmioAt(pa); isMMIO {
+			m.sbExit = true // device write may have side effects (IRQ, DMA)
 			dev.MMIOWrite(pa, size, c.reg(ins.Rs2))
 			c.AddStall(cost.MemMiss)
 			break

@@ -241,6 +241,10 @@ type cache struct {
 	// the fallback for exotic hand-built profiles.
 	pow2     bool
 	lineMask uint64
+	// gen counts line replacements (fills and flushes). Host-derived: the
+	// superblock fetch memo keys on it to prove a line probed present is
+	// still present without re-probing.
+	gen uint64
 }
 
 func newCache(capacity, lineSize int) *cache {
@@ -299,6 +303,7 @@ func (c *cache) access(addr uint64, size int, write bool) {
 			c.tags[idx] = line
 			c.valid[idx] = true
 			c.dirty[idx] = false
+			c.gen++
 		}
 		if write {
 			c.dirty[idx] = true
@@ -312,6 +317,7 @@ func (c *cache) flush() {
 		c.valid[i] = false
 		c.dirty[i] = false
 	}
+	c.gen++
 }
 
 // bus models the shared memory bus as a token bucket refilled every global

@@ -126,6 +126,8 @@ func (m *Machine) LoadState(s *snapshot.Snapshot) error {
 	// themselves — so a restore resets it.
 	m.now = now
 	m.ffSkipped = 0
+	m.sbJumped = 0
+	m.sbHold = 0 // host-only cooldown; now may have moved backwards
 	m.irqRoute = route
 	// Derived scheduler state: the rotation index advances in lockstep
 	// with now (and skipIdle re-derives it the same way), and stepIdle
@@ -376,11 +378,12 @@ func (c *Core) loadState(d *snapshot.Dec) error {
 	bytesToBools(valid, c.cache.valid)
 	bytesToBools(dirty, c.cache.dirty)
 	// Park closures cannot cross a snapshot; the owning layer re-arms
-	// them (and then restores parkWake, which Park resets). The exec
-	// cache is host-derived state and is simply dropped.
+	// them (and then restores parkWake, which Park resets). The exec and
+	// superblock caches are host-derived state and are simply dropped.
 	c.parkCond = nil
 	c.parkDone = nil
 	c.ec = nil
+	c.sb = nil
 	return nil
 }
 

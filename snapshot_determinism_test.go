@@ -57,10 +57,9 @@ func TestSnapshotDeterminismMatrix(t *testing.T) {
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
-			build := func(noFF, noEC bool) *rcoe.System {
+			build := func(v hostVariant) *rcoe.System {
 				cfg := sc.cfg
-				cfg.DisableFastForward = noFF
-				cfg.DisableExecCache = noEC
+				v.apply(&cfg)
 				sys, err := rcoe.BuildSystem(cfg, sc.prog)
 				if err != nil {
 					t.Fatal(err)
@@ -69,7 +68,7 @@ func TestSnapshotDeterminismMatrix(t *testing.T) {
 			}
 			// The baseline straight run fixes the expected fingerprint and
 			// the mid-run checkpoint cycle.
-			base := build(false, false)
+			base := build(hostVariants[0])
 			want := runToEnd(t, base)
 			half := base.Machine().Now() / 2
 
@@ -77,7 +76,7 @@ func TestSnapshotDeterminismMatrix(t *testing.T) {
 			for _, v := range hostVariants {
 				t.Run(v.name, func(t *testing.T) {
 					// Checkpoint-continue: saving must not perturb the run.
-					ck := build(v.noFF, v.noEC)
+					ck := build(v)
 					ck.RunCycles(half)
 					if ck.Finished() {
 						t.Fatalf("checkpoint cycle %d is not mid-run", half)
@@ -100,7 +99,7 @@ func TestSnapshotDeterminismMatrix(t *testing.T) {
 					// Restore-run: a fresh system restored from the baseline's
 					// checkpoint must re-serialize byte-identically and finish
 					// on the straight run's fingerprint.
-					rs := build(v.noFF, v.noEC)
+					rs := build(v)
 					if err := snapshot.Restore(rs, baseCp); err != nil {
 						t.Fatal(err)
 					}
@@ -115,6 +114,63 @@ func TestSnapshotDeterminismMatrix(t *testing.T) {
 						want, runToEnd(t, rs))
 				})
 			}
+		})
+	}
+}
+
+// TestSnapshotRestoreBackwardsLive checkpoints a live system at an odd
+// cycle offset (deliberately not a multiple of the simulated core
+// count, so the round-robin service pointer is mid-rotation), runs it
+// well past the next preemption-timer edge, then restores the same —
+// still live — system backwards onto its own checkpoint. The rewound
+// run must finish on the straight run's fingerprint under every
+// accelerator combination: Restore must rebuild every piece of derived
+// host state (the memoized timer next-edge, the rotation pointer, the
+// fast-forward/exec-cache/superblock caches) rather than trusting what
+// the overshoot left behind.
+func TestSnapshotRestoreBackwardsLive(t *testing.T) {
+	// A short timer period guarantees the run crosses many edges, so
+	// both the checkpoint and the overshoot land mid-period.
+	cfg := rcoe.Config{Mode: rcoe.ModeLC, Replicas: 3, Masking: true, TickCycles: 3_000}
+	prog := rcoe.Dhrystone(500)
+	build := func(v hostVariant) *rcoe.System {
+		c := cfg
+		v.apply(&c)
+		sys, err := rcoe.BuildSystem(c, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	base := build(hostVariants[0])
+	want := runToEnd(t, base)
+	k := base.Machine().Now()/2 | 1
+	for _, v := range hostVariants {
+		t.Run(v.name, func(t *testing.T) {
+			sys := build(v)
+			sys.RunCycles(k)
+			if got := sys.Machine().Now(); got != k {
+				t.Fatalf("checkpoint cycle drifted: Now()=%d, want %d", got, k)
+			}
+			cp, err := snapshot.Save(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Overshoot just past the next preemption-timer edge so the
+			// memoized next-edge and the rotation pointer are stale
+			// relative to the checkpoint when we rewind, without running
+			// the short workload to completion.
+			sys.RunCycles(cfg.TickCycles - k%cfg.TickCycles + 1_235)
+			if sys.Finished() {
+				t.Fatal("overshoot ran to completion; pick an earlier checkpoint")
+			}
+			if err := snapshot.Restore(sys, cp); err != nil {
+				t.Fatal(err)
+			}
+			if got := sys.Machine().Now(); got != k {
+				t.Fatalf("restore left Now()=%d, want %d", got, k)
+			}
+			assertIdentical(t, "restore-backwards/"+v.name, want, runToEnd(t, sys))
 		})
 	}
 }

@@ -1,0 +1,34 @@
+package rcoe_test
+
+import (
+	"testing"
+
+	"rcoe"
+)
+
+// TestSuperblockDhrystoneHitRate is the CI bench smoke for the superblock
+// engine: on Table II's Dhrystone — the instruction-dense workload the
+// host-speedup numbers in EXPERIMENTS.md are quoted on — at least 90% of
+// all retired instructions must execute from the batched path. A hit rate
+// collapse here means the engine is refusing or invalidating blocks on
+// the hot loop and the speedup silently regressed to exec-cache levels,
+// which no determinism differential would catch (the contract is about
+// bits, not speed).
+func TestSuperblockDhrystoneHitRate(t *testing.T) {
+	sys, err := rcoe.BuildSystem(rcoe.Config{
+		Mode: rcoe.ModeLC, Replicas: 2, TickCycles: 20_000,
+	}, rcoe.Dhrystone(2_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(3_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Machine().SuperblockStats()
+	if s.Instrs == 0 || s.Blocks == 0 {
+		t.Fatalf("superblock engine never engaged: %+v", s)
+	}
+	if hr := s.HitRate(); hr < 0.9 {
+		t.Fatalf("block-hit rate %.2f%% < 90%% on Dhrystone (%+v)", hr*100, s)
+	}
+}
