@@ -1,0 +1,77 @@
+package rcoe_test
+
+// Cluster-scale determinism: the sharded system inherits the repo-wide
+// contract that host parallelism is invisible in simulated results. A
+// 4-shard bench campaign must produce byte-identical artifacts at any
+// engine worker count, and the failover drill must complete with zero
+// lost acknowledged writes.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rcoe"
+	"rcoe/internal/cluster"
+	"rcoe/internal/core"
+	"rcoe/internal/workload"
+)
+
+func clusterBase() rcoe.ClusterOptions {
+	return rcoe.ClusterOptions{
+		Shards:     4,
+		Workload:   workload.YCSBB,
+		Records:    32,
+		Operations: 48,
+		Seed:       7,
+	}
+}
+
+// TestClusterBenchWorkerInvariant runs the standard 4-shard bench sweep
+// serially and with 8 workers and requires byte-identical artifacts.
+func TestClusterBenchWorkerInvariant(t *testing.T) {
+	t.Cleanup(func() { rcoe.SetParallelism(0) })
+	artifacts := make([][]byte, 0, 2)
+	for _, workers := range []int{1, 8} {
+		rcoe.SetParallelism(workers)
+		art, err := rcoe.ClusterBench(cluster.BenchOptions{Base: clusterBase()})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	if string(artifacts[0]) != string(artifacts[1]) {
+		t.Fatalf("bench artifact differs between 1 and 8 workers:\n%s\n%s",
+			artifacts[0], artifacts[1])
+	}
+}
+
+// TestClusterFailoverSmoke kills one TMR shard mid-run and requires the
+// drill to finish with every acknowledged write intact.
+func TestClusterFailoverSmoke(t *testing.T) {
+	base := clusterBase()
+	base.System = core.Config{
+		Mode: core.ModeLC, Replicas: 3, Masking: true,
+		TickCycles: 50_000, BarrierTimeout: 2_000_000,
+	}
+	base.CheckpointRounds = 1_000
+	art, err := rcoe.ClusterFailoverDrill(cluster.FailoverOptions{
+		Base: base, Victim: 2, KillAfterOps: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := art.Rows[0].Result
+	if res.Ops != base.Operations {
+		t.Fatalf("ops = %d, want %d", res.Ops, base.Operations)
+	}
+	if res.LostWrites != 0 {
+		t.Fatalf("failover lost %d acknowledged writes", res.LostWrites)
+	}
+	if res.Shards[2].Failovers != 1 {
+		t.Fatalf("victim failovers = %d, want 1", res.Shards[2].Failovers)
+	}
+}

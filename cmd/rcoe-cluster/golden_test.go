@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rcoe/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// benchArgs is the deterministic golden subset: a small 4-shard bench
+// sweep with a fixed seed. The artifact carries no host timings.
+func benchArgs(extra ...string) []string {
+	args := []string{
+		"-json", "-quiet",
+		"-shards", "4", "-records", "32", "-ops", "48", "-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+// runToFile invokes a subcommand with -out pointed at a temp file and
+// returns the artifact bytes.
+func runToFile(t *testing.T, run func([]string) int, args []string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "artifact.json")
+	if code := run(append(args, "-out", out)); code != 0 {
+		t.Fatalf("exit code %d, want 0 (args %v)", code, args)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestBenchJSONGolden pins the rcoe-cluster/v1 artifact bytes of the
+// standard bench sweep. If an intentional change alters the artifact,
+// run `go test ./cmd/rcoe-cluster -run TestBenchJSONGolden -update`
+// and review the golden diff.
+func TestBenchJSONGolden(t *testing.T) {
+	t.Cleanup(func() { exp.SetDefaultWorkers(0) })
+	got := runToFile(t, runBench, benchArgs("-parallel", "2"))
+
+	golden := filepath.Join("testdata", "bench.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("JSON artifact drifted from %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestBenchJSONWorkerInvariant reruns the golden subset at several
+// engine worker counts and requires byte-identical artifacts — the
+// cluster acceptance criterion for -parallel.
+func TestBenchJSONWorkerInvariant(t *testing.T) {
+	t.Cleanup(func() { exp.SetDefaultWorkers(0) })
+	serial := runToFile(t, runBench, benchArgs("-parallel", "1"))
+	for _, workers := range []string{"2", "8"} {
+		got := runToFile(t, runBench, benchArgs("-parallel", workers))
+		if !bytes.Equal(serial, got) {
+			t.Fatalf("artifact differs between 1 and %s workers", workers)
+		}
+	}
+}
+
+// TestFailoverJSONGolden pins the failover-drill artifact, including
+// the zero-lost-writes audit fields.
+func TestFailoverJSONGolden(t *testing.T) {
+	args := []string{
+		"-json", "-shards", "4", "-records", "32", "-ops", "48",
+		"-seed", "7", "-victim", "1", "-kill-after", "12",
+		"-ckpt-rounds", "1000",
+	}
+	got := runToFile(t, runFailover, args)
+
+	golden := filepath.Join("testdata", "failover.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("JSON artifact drifted from %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestOutPreflightFailsFast pins the -out contract: an unwritable path
+// exits non-zero before any cluster boots.
+func TestOutPreflightFailsFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "artifact.json")
+	start := time.Now()
+	if code := runBench([]string{"-json", "-quiet", "-ops", "100000", "-out", bad}); code != 2 {
+		t.Fatalf("exit code %d, want 2 for unwritable -out", code)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("took %v: campaign ran before the -out check", elapsed)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("artifact path exists after failed preflight (stat err %v)", err)
+	}
+}

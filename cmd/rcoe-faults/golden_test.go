@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -77,6 +78,37 @@ func TestTaxonomyJSONWorkerInvariant(t *testing.T) {
 		if !bytes.Equal(serial, got) {
 			t.Fatalf("artifact differs between 1 and %s workers", workers)
 		}
+	}
+}
+
+// TestTaxonomyWarmFlagInMeta pins the -warm wiring end to end: the flag
+// reaches the campaign (warm and cold runs sample different workload
+// streams, so their artifacts must differ) and is recorded in the
+// artifact meta so downstream tooling never compares warm tallies
+// against cold ones.
+func TestTaxonomyWarmFlagInMeta(t *testing.T) {
+	t.Cleanup(func() { exp.SetDefaultWorkers(0) })
+	cold := runToFile(t, runTaxonomy, taxonomyArgs("-parallel", "2"))
+	warm := runToFile(t, runTaxonomy, taxonomyArgs("-parallel", "2", "-warm"))
+
+	var meta struct {
+		Schema string `json:"schema"`
+		Warm   bool   `json:"warm"`
+	}
+	if err := json.Unmarshal(warm, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Schema != "rcoe-faults/taxonomy/v1" || !meta.Warm {
+		t.Fatalf("warm artifact meta = %+v, want schema rcoe-faults/taxonomy/v1 with warm=true", meta)
+	}
+	if err := json.Unmarshal(cold, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Warm {
+		t.Fatal("cold artifact claims warm=true")
+	}
+	if bytes.Equal(cold, warm) {
+		t.Fatal("warm and cold artifacts are identical; -warm is not reaching the campaign")
 	}
 }
 

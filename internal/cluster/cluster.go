@@ -1,0 +1,784 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+
+	"rcoe/internal/core"
+	"rcoe/internal/exp"
+	"rcoe/internal/harness"
+	"rcoe/internal/metrics"
+	"rcoe/internal/netstack"
+	"rcoe/internal/snapshot"
+	"rcoe/internal/workload"
+)
+
+// Options configures a cluster run.
+type Options struct {
+	// Shards is the node count; each shard is one independently
+	// replicated harness.Node.
+	Shards int
+	// VNodes is the consistent-hash virtual-node count per shard
+	// (DefaultVNodes when 0).
+	VNodes int
+	// System is the per-shard replication configuration (every shard
+	// runs the same configuration at boot; redundancy can then be
+	// changed per shard at runtime).
+	System core.Config
+	// Workload is the YCSB mix.
+	Workload workload.Kind
+	// Records is the cluster-wide preloaded record count, partitioned
+	// over the shards by the ring.
+	Records uint64
+	// Operations is the total run-phase operation count across all
+	// client streams.
+	Operations uint64
+	// Streams is the number of independent client streams (default:
+	// one per shard). Each stream derives its own seed, so the global
+	// request sequence is independent of host scheduling.
+	Streams int
+	// Window is the per-shard outstanding-request window (default 8).
+	Window int
+	// Slots is the per-shard server hash-table size (sized from
+	// Records when 0).
+	Slots uint64
+	// TraceOutput controls FT_Add_Trace on responses.
+	TraceOutput bool
+	// Seed makes the whole cluster run deterministic.
+	Seed uint64
+	// MaxCycles bounds the run in cluster cycles (rounds x chunk).
+	MaxCycles uint64
+	// ChunkCycles is the lockstep round length (default 2000): each
+	// round fills every shard, advances every node by this many
+	// cycles, then drains every shard.
+	ChunkCycles uint64
+	// RetryCycles, RetryBackoff and MaxRetries mirror the single-node
+	// client's retransmission policy, applied per shard.
+	RetryCycles  uint64
+	RetryBackoff bool
+	MaxRetries   int
+	// CheckpointRounds, when nonzero, checkpoints every live shard
+	// every N rounds, truncating its acked-write replay log — the
+	// periodic state-transfer basis for fast failover.
+	CheckpointRounds uint64
+	// HotKeyFraction redirects this fraction of run-phase operations
+	// to a single hot key, concentrating load on one shard (the skew
+	// campaign). 0 disables.
+	HotKeyFraction float64
+}
+
+// ShardStats is one shard's slice of a cluster result.
+type ShardStats struct {
+	ID int `json:"id"`
+	// Ops is the number of run-phase operations whose final request
+	// this shard acknowledged.
+	Ops uint64 `json:"ops"`
+	// Responses counts every frame the shard sent back.
+	Responses uint64 `json:"responses"`
+	// Alive is the shard's replica count at the end of the run.
+	Alive int `json:"alive"`
+	// Failovers counts node replacements on this shard.
+	Failovers int `json:"failovers"`
+	// Detections counts the shard's recorded detection events.
+	Detections int    `json:"detections"`
+	Halted     bool   `json:"halted,omitempty"`
+	HaltReason string `json:"halt_reason,omitempty"`
+}
+
+// Result is a cluster run's outcome.
+type Result struct {
+	// Ops is completed run-phase operations; Cycles the cluster cycles
+	// the run phase consumed (rounds x chunk — every shard advances in
+	// lockstep, so cluster time is well defined even across failovers
+	// that restart a node's local clock); Throughput is fleet ops per
+	// million cluster cycles.
+	Ops        uint64  `json:"ops"`
+	Cycles     uint64  `json:"cycles"`
+	Throughput float64 `json:"throughput"`
+	// Corruptions counts CRC-mismatched GET responses; Errors other
+	// client-visible failures (persistent loss, server errors).
+	Corruptions uint64 `json:"corruptions"`
+	Errors      uint64 `json:"errors"`
+	// LostWrites is the number of acknowledged writes the final
+	// read-back audit could not observe (filled by VerifyAcked; the
+	// failover acceptance criterion is 0).
+	LostWrites uint64 `json:"lost_writes"`
+	// AckedWrites is the audit population behind LostWrites.
+	AckedWrites uint64       `json:"acked_writes"`
+	Shards      []ShardStats `json:"shards"`
+	// Metrics is the fleet-wide merged metric snapshot (only when the
+	// system configuration enables tracing).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// pending is one routed request: queued, then in flight until its
+// acknowledgement (or retry exhaustion).
+type pending struct {
+	wire    uint32
+	frame   []byte
+	key     []byte
+	value   []byte // SET payload, retained for the acked-write ledger
+	sentAt  uint64 // shard-local node cycle of last transmission
+	retries int
+	isGet   bool
+	isSet   bool
+	isLoad  bool
+	opFinal bool
+}
+
+// ackedWrite is one acknowledged SET, in acknowledgement order — the
+// replay unit of shard state transfer.
+type ackedWrite struct {
+	key   []byte
+	value []byte
+}
+
+// shard is one node plus its client-side routing state.
+type shard struct {
+	id          int
+	node        *harness.Node
+	queue       []*pending
+	outstanding map[uint32]*pending
+	// lastCkpt is the latest checkpoint image; replay the acked writes
+	// on top of it to rebuild the shard's authoritative state.
+	lastCkpt  []byte
+	replay    []ackedWrite
+	stats     ShardStats
+	loadQueue int // load-phase requests still queued or in flight here
+}
+
+// ErrClusterStall reports a cluster making no progress without every
+// shard having halted.
+var ErrClusterStall = errors.New("cluster: no progress")
+
+// Cluster is a constructed, steppable sharded system.
+type Cluster struct {
+	opts   Options
+	ring   *Ring
+	shards []*shard
+
+	streams     []*workload.Generator
+	streamQuota []uint64
+	streamSent  []uint64
+	rrStream    int
+
+	hotRng uint64
+	hotKey []byte
+
+	nextWire   uint32
+	rounds     uint64
+	startRound uint64
+	endRound   uint64
+	loadLeft   int
+	opsDone    uint64
+	opsDropped uint64
+	res        Result
+
+	// expected is the acknowledged-write ledger: the last value the
+	// cluster acknowledged for each key. VerifyAcked audits it.
+	expected map[string][]byte
+}
+
+// New builds the cluster: boots every shard, places them on the ring,
+// seeds the client streams, and routes the preload.
+func New(opts Options) (*Cluster, error) {
+	if opts.Shards <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", opts.Shards)
+	}
+	if opts.Streams <= 0 {
+		opts.Streams = opts.Shards
+	}
+	if opts.Window <= 0 {
+		opts.Window = 8
+	}
+	if opts.ChunkCycles == 0 {
+		opts.ChunkCycles = 2_000
+	}
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 2_000_000_000
+	}
+	if opts.Slots == 0 {
+		// Each shard owns ~1/Shards of the keyspace, but consistent
+		// hashing is not perfectly balanced; size every table for half
+		// the full keyspace so no shard can overflow.
+		opts.Slots = nextPow2(opts.Records*2 + 64)
+	}
+	c := &Cluster{
+		opts:     opts,
+		ring:     NewRing(opts.VNodes),
+		expected: make(map[string][]byte),
+		hotKey:   workload.Key(0),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		node, err := c.bootNode()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: boot shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, &shard{
+			id: i, node: node, outstanding: make(map[uint32]*pending),
+			stats: ShardStats{ID: i},
+		})
+		c.ring.Add(i)
+	}
+	// Per-stream generators over the GLOBAL keyspace; the router, not
+	// the stream, decides shard placement.
+	c.streamQuota = make([]uint64, opts.Streams)
+	c.streamSent = make([]uint64, opts.Streams)
+	for i := 0; i < opts.Streams; i++ {
+		c.streams = append(c.streams,
+			workload.NewGenerator(opts.Workload, opts.Records, exp.DeriveSeed(opts.Seed, i)))
+		c.streamQuota[i] = opts.Operations / uint64(opts.Streams)
+		if uint64(i) < opts.Operations%uint64(opts.Streams) {
+			c.streamQuota[i]++
+		}
+	}
+	if opts.HotKeyFraction > 0 {
+		c.hotRng = exp.DeriveSeed(opts.Seed, opts.Streams)
+	}
+	// Route the preload: every record SET once, by ring placement.
+	for i := uint64(0); i < opts.Records; i++ {
+		c.route(netstack.Request{Op: netstack.OpSet, Key: workload.Key(i), Value: workload.Value(i, 0)},
+			true, false)
+	}
+	c.loadLeft = int(opts.Records)
+	return c, nil
+}
+
+// bootNode builds one shard node with the cluster's common options.
+func (c *Cluster) bootNode() (*harness.Node, error) {
+	return harness.NewNode(harness.NodeOptions{
+		System:      c.opts.System,
+		Slots:       c.opts.Slots,
+		TraceOutput: c.opts.TraceOutput,
+		// Serving nodes never exhaust their budget mid-run; the client,
+		// not the server, decides when the run is over.
+	})
+}
+
+func nextPow2(v uint64) uint64 {
+	p := uint64(64)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// route assigns the request a cluster-unique wire ID, encodes it, and
+// queues it on the owning shard.
+func (c *Cluster) route(req netstack.Request, isLoad, opFinal bool) {
+	id, ok := c.ring.Lookup(req.Key)
+	if !ok {
+		c.res.Errors++
+		return
+	}
+	c.nextWire++
+	req.ReqID = c.nextWire
+	frame, err := netstack.EncodeRequest(req)
+	if err != nil {
+		c.res.Errors++
+		return
+	}
+	p := &pending{
+		wire:    req.ReqID,
+		frame:   frame,
+		key:     append([]byte(nil), req.Key...),
+		isGet:   req.Op == netstack.OpGet,
+		isSet:   req.Op == netstack.OpSet,
+		isLoad:  isLoad,
+		opFinal: opFinal,
+	}
+	if p.isSet {
+		p.value = append([]byte(nil), req.Value...)
+	}
+	sh := c.shards[id]
+	sh.queue = append(sh.queue, p)
+	if isLoad {
+		sh.loadQueue++
+	}
+}
+
+func (c *Cluster) hotFloat() float64 {
+	x := c.hotRng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.hotRng = x
+	return float64(x>>11) / float64(1<<53)
+}
+
+// totalOps returns the run-phase operation target.
+func (c *Cluster) totalOps() uint64 { return c.opts.Operations }
+
+// generate tops up the shard queues from the client streams,
+// round-robin so no stream starves, bounded so a hot shard cannot grow
+// its queue without limit.
+func (c *Cluster) generate() {
+	queueCap := c.opts.Shards * c.opts.Window * 8
+	for {
+		queued, unsaturated := 0, false
+		for _, sh := range c.shards {
+			backlog := len(sh.queue) + len(sh.outstanding)
+			queued += len(sh.queue)
+			if backlog < c.opts.Window {
+				unsaturated = true
+			}
+		}
+		if !unsaturated || queued >= queueCap {
+			return
+		}
+		op, ok := c.nextOp()
+		if !ok {
+			return
+		}
+		for i, req := range op {
+			c.route(req, false, i == len(op)-1)
+		}
+	}
+}
+
+// nextOp draws the next operation from the streams in round-robin
+// order; ok is false when every stream has issued its quota.
+func (c *Cluster) nextOp() ([]netstack.Request, bool) {
+	for tries := 0; tries < len(c.streams); tries++ {
+		i := c.rrStream
+		c.rrStream = (c.rrStream + 1) % len(c.streams)
+		if c.streamSent[i] >= c.streamQuota[i] {
+			continue
+		}
+		c.streamSent[i]++
+		op := c.streams[i].Next()
+		if c.opts.HotKeyFraction > 0 && c.hotFloat() < c.opts.HotKeyFraction {
+			// Redirect the whole operation to the hot key. Values stay
+			// CRC-valid; only placement changes.
+			for j := range op {
+				op[j].Key = c.hotKey
+			}
+		}
+		return op, true
+	}
+	return nil, false
+}
+
+// fill keeps one shard's window full, mirroring the single-node
+// client's retransmission policy (sorted-ID walk, capped backoff,
+// bounded retries surfacing as client-visible errors).
+func (c *Cluster) fill(sh *shard) {
+	now := sh.node.Now()
+	retry := c.opts.RetryCycles
+	if retry == 0 {
+		retry = 4_000_000
+	}
+	maxRetries := c.opts.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 5
+	}
+	ids := make([]uint32, 0, len(sh.outstanding))
+	for id := range sh.outstanding {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		p := sh.outstanding[id]
+		timeout := retry
+		if c.opts.RetryBackoff && p.retries > 0 {
+			shift := p.retries
+			if shift > 3 {
+				shift = 3
+			}
+			timeout = retry << uint(shift)
+		}
+		if now-p.sentAt < timeout {
+			continue
+		}
+		if p.retries >= maxRetries {
+			delete(sh.outstanding, id)
+			c.res.Errors++
+			if p.isLoad {
+				c.loadLeft--
+				sh.loadQueue--
+			} else if p.opFinal {
+				c.opsDropped++
+			}
+			continue
+		}
+		p.retries++
+		p.sentAt = now
+		sh.node.Inject(p.frame)
+	}
+	for len(sh.outstanding) < c.opts.Window && len(sh.queue) > 0 {
+		p := sh.queue[0]
+		sh.queue = sh.queue[1:]
+		p.sentAt = now
+		sh.outstanding[p.wire] = p
+		sh.node.Inject(p.frame)
+	}
+}
+
+// drain processes one shard's responses: ledger updates for acked SETs,
+// CRC validation for GETs, duplicate suppression for retransmits.
+func (c *Cluster) drain(sh *shard) {
+	for _, frame := range sh.node.TakeResponses() {
+		sh.stats.Responses++
+		resp, err := netstack.DecodeResponse(frame)
+		if err != nil {
+			c.res.Errors++
+			continue
+		}
+		p, ok := sh.outstanding[resp.ReqID]
+		if !ok {
+			continue // duplicate of a retried request
+		}
+		delete(sh.outstanding, resp.ReqID)
+		if p.isSet && resp.Status == netstack.StatusOK {
+			// The write is now acknowledged: it enters the cluster
+			// ledger and the shard's replay log, in ack order.
+			c.expected[string(p.key)] = p.value
+			sh.replay = append(sh.replay, ackedWrite{key: p.key, value: p.value})
+		}
+		if p.isLoad {
+			c.loadLeft--
+			sh.loadQueue--
+			if c.loadLeft == 0 {
+				c.startRound = c.rounds
+			}
+			continue
+		}
+		if p.isGet {
+			switch {
+			case resp.Status != netstack.StatusOK:
+				c.res.Errors++
+			case !workload.CheckValue(resp.Value):
+				c.res.Corruptions++
+			}
+		}
+		if p.opFinal {
+			c.opsDone++
+			sh.stats.Ops++
+		}
+	}
+}
+
+// Step advances the cluster one lockstep round: fill every shard,
+// advance every node by the chunk, drain every shard.
+func (c *Cluster) Step() {
+	c.generate()
+	for _, sh := range c.shards {
+		c.fill(sh)
+	}
+	for _, sh := range c.shards {
+		sh.node.RunCycles(c.opts.ChunkCycles)
+	}
+	for _, sh := range c.shards {
+		c.drain(sh)
+	}
+	c.rounds++
+	if c.opts.CheckpointRounds != 0 && c.rounds%c.opts.CheckpointRounds == 0 {
+		for _, sh := range c.shards {
+			if halted, _ := sh.node.Halted(); !halted {
+				_ = c.Checkpoint(sh.id)
+			}
+		}
+	}
+}
+
+// Done reports whether the run phase completed (every operation
+// acknowledged or accounted for as a client-visible error).
+func (c *Cluster) Done() bool {
+	return c.loadLeft <= 0 && c.opsDone+c.opsDropped >= c.totalOps()
+}
+
+// LoadPhaseDone reports whether the preload completed.
+func (c *Cluster) LoadPhaseDone() bool { return c.loadLeft <= 0 }
+
+// Node returns shard id's node (scenario drivers reach through for
+// redundancy control and fault injection).
+func (c *Cluster) Node(id int) *harness.Node { return c.shards[id].node }
+
+// Rounds returns the lockstep rounds executed so far.
+func (c *Cluster) Rounds() uint64 { return c.rounds }
+
+// Ring returns the router's hash ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// OpsDone returns completed run-phase operations so far.
+func (c *Cluster) OpsDone() uint64 { return c.opsDone }
+
+// Checkpoint snapshots shard id's node and truncates its replay log:
+// subsequent failover restores the checkpoint and replays only the
+// writes acknowledged since.
+func (c *Cluster) Checkpoint(id int) error {
+	sh := c.shards[id]
+	ckpt, err := snapshot.Save(sh.node)
+	if err != nil {
+		return fmt.Errorf("cluster: checkpoint shard %d: %w", id, err)
+	}
+	sh.lastCkpt = ckpt
+	sh.replay = sh.replay[:0]
+	return nil
+}
+
+// Failover replaces shard id's node wholesale — the crash-and-replace
+// path. The dead node's state is discarded (any responses still in its
+// NIC are lost with it); a fresh node is booted, the last checkpoint
+// (if any) is restored into it, the acked writes since that checkpoint
+// are replayed in acknowledgement order, and the shard's in-flight
+// window is retransmitted. Because the ledger writes land before the
+// retransmits, every acknowledged value is re-established before any
+// in-flight request can observe the shard — zero acknowledged writes
+// are lost. The shard keeps its ID, so the ring partition is unchanged.
+func (c *Cluster) Failover(id int) error {
+	sh := c.shards[id]
+	node, err := c.bootNode()
+	if err != nil {
+		return fmt.Errorf("cluster: failover shard %d: boot: %w", id, err)
+	}
+	if sh.lastCkpt != nil {
+		if err := snapshot.Restore(node, sh.lastCkpt); err != nil {
+			return fmt.Errorf("cluster: failover shard %d: restore: %w", id, err)
+		}
+	}
+	sh.node = node
+	if err := c.replayAcked(sh); err != nil {
+		return err
+	}
+	// Retransmit the in-flight window against the new node's clock.
+	// The requests are idempotent (SETs carry full values, GETs are
+	// reads), so re-execution after the replay is safe.
+	now := sh.node.Now()
+	ids := make([]uint32, 0, len(sh.outstanding))
+	for wid := range sh.outstanding {
+		ids = append(ids, wid)
+	}
+	slices.Sort(ids)
+	for _, wid := range ids {
+		p := sh.outstanding[wid]
+		p.sentAt = now
+		p.retries = 0
+		sh.node.Inject(p.frame)
+	}
+	sh.stats.Failovers++
+	return nil
+}
+
+// replayAcked re-applies a shard's post-checkpoint acked writes to its
+// (fresh or restored) node, in acknowledgement order, waiting for each
+// batch to be acknowledged before the shard re-enters service.
+func (c *Cluster) replayAcked(sh *shard) error {
+	const batch = 8
+	for start := 0; start < len(sh.replay); start += batch {
+		end := start + batch
+		if end > len(sh.replay) {
+			end = len(sh.replay)
+		}
+		want := make(map[uint32]bool)
+		for _, w := range sh.replay[start:end] {
+			c.nextWire++
+			frame, err := netstack.EncodeRequest(netstack.Request{
+				Op: netstack.OpSet, ReqID: c.nextWire, Key: w.key, Value: w.value,
+			})
+			if err != nil {
+				return fmt.Errorf("cluster: replay encode: %w", err)
+			}
+			want[c.nextWire] = true
+			sh.node.Inject(frame)
+		}
+		if err := c.pumpUntilAcked(sh, want); err != nil {
+			return fmt.Errorf("cluster: shard %d state transfer: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// pumpUntilAcked runs one shard's node until every wanted wire ID has
+// been acknowledged with StatusOK.
+func (c *Cluster) pumpUntilAcked(sh *shard, want map[uint32]bool) error {
+	for i := 0; i < 40_000 && len(want) > 0; i++ {
+		sh.node.RunCycles(2_000)
+		if halted, reason := sh.node.Halted(); halted {
+			return fmt.Errorf("node halted: %s", reason)
+		}
+		for _, frame := range sh.node.TakeResponses() {
+			resp, err := netstack.DecodeResponse(frame)
+			if err != nil {
+				return err
+			}
+			if !want[resp.ReqID] {
+				continue
+			}
+			if resp.Status != netstack.StatusOK {
+				return fmt.Errorf("request %d status %d", resp.ReqID, resp.Status)
+			}
+			delete(want, resp.ReqID)
+		}
+	}
+	if len(want) > 0 {
+		return fmt.Errorf("%d requests unacknowledged", len(want))
+	}
+	return nil
+}
+
+// VerifyAcked audits the acknowledged-write ledger: every key the
+// cluster ever acknowledged a write for is read back through the router
+// and compared byte-for-byte against the last acknowledged value.
+// Returns the number of lost or corrupted acknowledged writes (the
+// failover acceptance criterion is zero) and records it in the result.
+func (c *Cluster) VerifyAcked() (lost uint64, err error) {
+	keys := make([]string, 0, len(c.expected))
+	for k := range c.expected {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Group the audit by owning shard so each shard is pumped once.
+	perShard := make([][]string, len(c.shards))
+	for _, k := range keys {
+		id, ok := c.ring.Lookup([]byte(k))
+		if !ok {
+			return 0, errors.New("cluster: empty ring during audit")
+		}
+		perShard[id] = append(perShard[id], k)
+	}
+	for id, shardKeys := range perShard {
+		sh := c.shards[id]
+		for start := 0; start < len(shardKeys); start += 8 {
+			end := start + 8
+			if end > len(shardKeys) {
+				end = len(shardKeys)
+			}
+			want := make(map[uint32]string)
+			for _, k := range shardKeys[start:end] {
+				c.nextWire++
+				frame, ferr := netstack.EncodeRequest(netstack.Request{
+					Op: netstack.OpGet, ReqID: c.nextWire, Key: []byte(k),
+				})
+				if ferr != nil {
+					return 0, ferr
+				}
+				want[c.nextWire] = k
+				sh.node.Inject(frame)
+			}
+			for i := 0; i < 40_000 && len(want) > 0; i++ {
+				sh.node.RunCycles(2_000)
+				if halted, reason := sh.node.Halted(); halted {
+					return 0, fmt.Errorf("cluster: audit: shard %d halted: %s", id, reason)
+				}
+				for _, frame := range sh.node.TakeResponses() {
+					resp, derr := netstack.DecodeResponse(frame)
+					if derr != nil {
+						continue
+					}
+					k, ok := want[resp.ReqID]
+					if !ok {
+						continue
+					}
+					delete(want, resp.ReqID)
+					if resp.Status != netstack.StatusOK || string(resp.Value) != string(c.expected[k]) {
+						lost++
+					}
+				}
+			}
+			// Unanswered audit reads count as lost.
+			lost += uint64(len(want))
+		}
+	}
+	c.res.LostWrites = lost
+	c.res.AckedWrites = uint64(len(keys))
+	return lost, nil
+}
+
+// Run drives the cluster to completion.
+func (c *Cluster) Run() (Result, error) {
+	maxRounds := c.opts.MaxCycles / c.opts.ChunkCycles
+	stallRounds := uint64(40_000) // 80M cluster cycles at the default chunk
+	lastProgress := c.rounds
+	lastSignal := uint64(0)
+	for !c.Done() {
+		if c.rounds >= maxRounds {
+			break
+		}
+		if c.allHalted() {
+			break
+		}
+		c.Step()
+		signal := c.opsDone + c.opsDropped + uint64(len(c.expected))
+		for _, sh := range c.shards {
+			signal += uint64(len(sh.outstanding))<<32 + uint64(len(sh.queue))
+		}
+		if signal != lastSignal {
+			lastSignal = signal
+			lastProgress = c.rounds
+		} else if c.rounds-lastProgress > stallRounds {
+			c.finalize()
+			return c.res, fmt.Errorf("%w after %d ops", ErrClusterStall, c.opsDone)
+		}
+	}
+	if c.Done() {
+		c.endRound = c.rounds
+	}
+	c.finalize()
+	return c.res, nil
+}
+
+// allHalted reports whether every shard has fail-stopped.
+func (c *Cluster) allHalted() bool {
+	for _, sh := range c.shards {
+		if halted, _ := sh.node.Halted(); !halted {
+			return false
+		}
+	}
+	return true
+}
+
+// finalize fills the result from the current state.
+func (c *Cluster) finalize() {
+	c.res.Ops = c.opsDone
+	end := c.endRound
+	if end == 0 {
+		end = c.rounds
+	}
+	c.res.Cycles = 0
+	if c.loadLeft <= 0 && end > c.startRound {
+		c.res.Cycles = (end - c.startRound) * c.opts.ChunkCycles
+	}
+	c.res.Throughput = 0
+	if c.res.Cycles > 0 {
+		c.res.Throughput = float64(c.res.Ops) / (float64(c.res.Cycles) / 1e6)
+	}
+	c.res.Shards = c.res.Shards[:0]
+	sets := make([]*metrics.Set, 0, len(c.shards))
+	for _, sh := range c.shards {
+		st := sh.stats
+		st.Alive = sh.node.AliveCount()
+		st.Detections = len(sh.node.Detections())
+		st.Halted, st.HaltReason = sh.node.Halted()
+		c.res.Shards = append(c.res.Shards, st)
+		sets = append(sets, sh.node.Metrics())
+	}
+	if c.opts.System.Trace.Enabled {
+		snap := metrics.Merge(sets...).Snapshot(c.rounds * c.opts.ChunkCycles)
+		c.res.Metrics = &snap
+	}
+}
+
+// Snapshot returns the current result counters without ending the run.
+func (c *Cluster) Snapshot() Result {
+	c.finalize()
+	return c.res
+}
+
+// Run is the one-call convenience wrapper: build, run, audit.
+func Run(opts Options) (Result, error) {
+	c, err := New(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := c.Run()
+	if err != nil {
+		return res, err
+	}
+	if _, err := c.VerifyAcked(); err != nil {
+		return c.Snapshot(), err
+	}
+	return c.Snapshot(), nil
+}

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/workload"
+)
+
+// testOptions is a small-but-real cluster: 3 shards of LC-DMR serving
+// YCSB-B. Sized so the full suite stays in CI budget.
+func testOptions() Options {
+	return Options{
+		Shards:     3,
+		System:     core.Config{Mode: core.ModeLC, Replicas: 2, TickCycles: 50_000},
+		Workload:   workload.YCSBB,
+		Records:    24,
+		Operations: 36,
+		Seed:       7,
+	}
+}
+
+func TestClusterRunAndAudit(t *testing.T) {
+	res, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 36 {
+		t.Fatalf("ops = %d, want 36", res.Ops)
+	}
+	if res.Errors != 0 || res.Corruptions != 0 {
+		t.Fatalf("errors=%d corruptions=%d, want 0/0", res.Errors, res.Corruptions)
+	}
+	if res.LostWrites != 0 {
+		t.Fatalf("lost writes = %d, want 0", res.LostWrites)
+	}
+	if res.AckedWrites < 24 {
+		t.Fatalf("acked writes = %d, want >= 24 (the preload)", res.AckedWrites)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	var shardOps uint64
+	for _, s := range res.Shards {
+		shardOps += s.Ops
+		if s.Halted {
+			t.Fatalf("shard %d halted: %s", s.ID, s.HaltReason)
+		}
+		if s.Alive != 2 {
+			t.Fatalf("shard %d alive = %d, want 2", s.ID, s.Alive)
+		}
+	}
+	if shardOps != res.Ops {
+		t.Fatalf("per-shard ops sum %d != total %d", shardOps, res.Ops)
+	}
+}
+
+// TestClusterDeterminism pins that two identical runs produce identical
+// results — the property the campaign layer's worker-count invariance
+// rests on.
+func TestClusterDeterminism(t *testing.T) {
+	a, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("two identical runs diverged:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestClusterFailoverZeroLostWrites is the acceptance scenario: run a
+// cluster partway, checkpoint, keep serving, then kill one shard's node
+// mid-run and transfer its state (checkpoint + acked-write replay) to a
+// fresh node. The run completes and the final audit observes every
+// acknowledged write.
+func TestClusterFailoverZeroLostWrites(t *testing.T) {
+	opts := testOptions()
+	opts.Operations = 60
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.LoadPhaseDone() {
+		c.Step()
+	}
+	const victim = 1
+	if err := c.Checkpoint(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Serve some run-phase traffic past the checkpoint so the replay
+	// log is non-empty, then crash-and-replace the victim.
+	for c.OpsDone() < 20 {
+		c.Step()
+	}
+	if err := c.Failover(victim); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != opts.Operations {
+		t.Fatalf("ops = %d, want %d", res.Ops, opts.Operations)
+	}
+	lost, err := c.VerifyAcked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("lost %d acknowledged writes across failover", lost)
+	}
+	if got := c.Snapshot().Shards[victim].Failovers; got != 1 {
+		t.Fatalf("victim failovers = %d, want 1", got)
+	}
+}
+
+// TestClusterFailoverWithoutCheckpoint exercises pure-replay state
+// transfer: no checkpoint was ever taken, so the replacement node is
+// rebuilt solely from the acked-write log.
+func TestClusterFailoverWithoutCheckpoint(t *testing.T) {
+	opts := testOptions()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.LoadPhaseDone() || c.OpsDone() < 10 {
+		c.Step()
+	}
+	if err := c.Failover(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := c.VerifyAcked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("lost %d acknowledged writes", lost)
+	}
+}
+
+// TestClusterRollingFailover rolls a crash-and-replace through every
+// shard in sequence — the rolling re-integration drill — with periodic
+// checkpoints on, and audits at the end.
+func TestClusterRollingFailover(t *testing.T) {
+	opts := testOptions()
+	opts.Operations = 48
+	opts.CheckpointRounds = 2_000
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.LoadPhaseDone() {
+		c.Step()
+	}
+	for id := 0; id < opts.Shards; id++ {
+		target := c.OpsDone() + 8
+		for c.OpsDone() < target && !c.Done() {
+			c.Step()
+		}
+		if err := c.Failover(id); err != nil {
+			t.Fatalf("failover shard %d: %v", id, err)
+		}
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := c.VerifyAcked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("rolling failover lost %d acknowledged writes", lost)
+	}
+	res := c.Snapshot()
+	for _, s := range res.Shards {
+		if s.Failovers != 1 {
+			t.Fatalf("shard %d failovers = %d, want 1", s.ID, s.Failovers)
+		}
+	}
+}
+
+// TestClusterDowngradeUnderLoad drives the per-shard redundancy knob
+// while the cluster serves: one TMR shard loses a stalled replica
+// (masking downgrade to DMR) without stopping the run, then
+// re-integrates back to TMR.
+func TestClusterDowngradeUnderLoad(t *testing.T) {
+	opts := testOptions()
+	opts.Shards = 2
+	opts.Operations = 48
+	opts.System = core.Config{
+		Mode: core.ModeLC, Replicas: 3, Masking: true,
+		TickCycles: 50_000, BarrierTimeout: 200_000,
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.LoadPhaseDone() {
+		c.Step()
+	}
+	const victim = 0
+	c.Node(victim).InjectStall(2)
+	for i := 0; i < 4_000 && c.Node(victim).AliveCount() == 3; i++ {
+		c.Step()
+	}
+	if got := c.Node(victim).AliveCount(); got != 2 {
+		t.Fatalf("victim alive = %d, want 2 (TMR->DMR under load)", got)
+	}
+	// The downgraded shard keeps taking run-phase traffic.
+	before := c.OpsDone()
+	for i := 0; i < 4_000 && c.OpsDone() < before+8 && !c.Done(); i++ {
+		c.Step()
+	}
+	if c.OpsDone() < before+8 && !c.Done() {
+		t.Fatalf("cluster stopped serving after downgrade (ops %d)", c.OpsDone())
+	}
+	if err := c.Node(victim).RequestReintegrate(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6_000 && c.Node(victim).AliveCount() != 3 && !c.Done(); i++ {
+		c.Step()
+	}
+	if got := c.Node(victim).AliveCount(); got != 3 {
+		_, rerr := c.Node(victim).ReintegrateOutcome()
+		t.Fatalf("victim alive after reintegrate = %d, want 3 (err %v)", got, rerr)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := c.VerifyAcked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("downgrade run lost %d acknowledged writes", lost)
+	}
+	res := c.Snapshot()
+	if res.Ops != opts.Operations {
+		t.Fatalf("ops = %d, want %d", res.Ops, opts.Operations)
+	}
+	if res.Shards[victim].Detections == 0 {
+		t.Fatal("victim shard recorded no detections")
+	}
+}
+
+// TestClusterHotKeySkew concentrates most operations on one key and
+// checks the owning shard absorbs a clear majority of the traffic —
+// the imbalance signal the skew campaign reports.
+func TestClusterHotKeySkew(t *testing.T) {
+	opts := testOptions()
+	opts.Operations = 60
+	opts.HotKeyFraction = 0.9
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostWrites != 0 {
+		t.Fatalf("lost writes = %d", res.LostWrites)
+	}
+	hot, _ := NewRingFromShards(opts.Shards, opts.VNodes).Lookup(workload.Key(0))
+	var hotOps, maxOther uint64
+	for _, s := range res.Shards {
+		if s.ID == hot {
+			hotOps = s.Ops
+		} else if s.Ops > maxOther {
+			maxOther = s.Ops
+		}
+	}
+	if hotOps <= maxOther {
+		t.Fatalf("hot shard %d ops %d not dominant (max other %d): %+v",
+			hot, hotOps, maxOther, res.Shards)
+	}
+}
+
+// TestClusterMergedMetrics checks that fleet-wide metrics aggregate
+// across shards when tracing is on.
+func TestClusterMergedMetrics(t *testing.T) {
+	opts := testOptions()
+	opts.Operations = 12
+	opts.System.Trace.Enabled = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("no merged metrics despite tracing enabled")
+	}
+	if res.Metrics.Counter("syncs") == 0 {
+		t.Fatal("merged syncs counter is zero")
+	}
+}
+
+// TestClusterSingleShard pins the degenerate composition: one shard is
+// just the single-node system behind the router.
+func TestClusterSingleShard(t *testing.T) {
+	opts := testOptions()
+	opts.Shards = 1
+	opts.Operations = 16
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 16 || res.LostWrites != 0 {
+		t.Fatalf("ops=%d lost=%d", res.Ops, res.LostWrites)
+	}
+}

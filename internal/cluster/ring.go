@@ -1,0 +1,145 @@
+// Package cluster composes harness.Node shards into a sharded RCoE
+// key-value cluster: a consistent-hash router partitions the YCSB
+// keyspace over N independently replicated nodes (each internally DMR or
+// TMR), a closed-loop multi-stream client drives them through the
+// netstack frame protocol, and shard failover moves state between nodes
+// through the checkpoint/restore subsystem. This is the paper's
+// single-machine system scaled out the way its deployment section
+// sketches: redundancy is a per-shard property, so a fleet can trade
+// redundancy for throughput one shard at a time.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per shard when Ring callers
+// pass 0. Enough points that removing one shard of four moves roughly a
+// quarter of the keyspace without the variance of single-point hashing.
+const DefaultVNodes = 64
+
+// hash64 is a splitmix64 finalizer over a seed — the ring's point and
+// key hash. Stateless and stable across runs and platforms.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashKey hashes key bytes onto the ring (FNV-1a folded through the
+// splitmix finalizer so short sequential keys spread).
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return hash64(h)
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is a consistent-hash ring over shard IDs. Each shard owns VNodes
+// points placed by hashing (shard, vnode) pairs, so the placement — and
+// therefore the key partition — depends only on the member shard IDs,
+// never on insertion order or shard count. Replacing a failed shard
+// under the same ID reproduces the identical partition (zero remap);
+// removing a shard moves only the departed shard's keys.
+type Ring struct {
+	vnodes int
+	points []ringPoint
+	shards map[int]bool
+}
+
+// NewRing creates an empty ring; vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, shards: make(map[int]bool)}
+}
+
+// NewRingFromShards builds a ring holding shards 0..n-1 — the boot
+// membership of an n-shard cluster.
+func NewRingFromShards(n, vnodes int) *Ring {
+	r := NewRing(vnodes)
+	for i := 0; i < n; i++ {
+		r.Add(i)
+	}
+	return r
+}
+
+// Add inserts a shard's virtual nodes. Adding a present shard is a
+// no-op.
+func (r *Ring) Add(shard int) {
+	if r.shards[shard] {
+		return
+	}
+	r.shards[shard] = true
+	for v := 0; v < r.vnodes; v++ {
+		h := hash64(uint64(shard)*0x9E3779B97F4A7C15 + uint64(v) + 1)
+		r.points = append(r.points, ringPoint{hash: h, shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Remove deletes a shard's virtual nodes. Removing an absent shard is a
+// no-op.
+func (r *Ring) Remove(shard int) {
+	if !r.shards[shard] {
+		return
+	}
+	delete(r.shards, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Lookup returns the shard owning key: the first ring point clockwise
+// from the key's hash. ok is false on an empty ring.
+func (r *Ring) Lookup(key []byte) (shard int, ok bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard, true
+}
+
+// Shards returns the member shard IDs in ascending order.
+func (r *Ring) Shards() []int {
+	ids := make([]int, 0, len(r.shards))
+	for id := range r.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Size returns the member shard count.
+func (r *Ring) Size() int { return len(r.shards) }
+
+// String summarises the ring.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d shards, %d vnodes)", len(r.shards), r.vnodes)
+}

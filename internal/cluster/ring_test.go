@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+
+	"rcoe/internal/workload"
+)
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(16)
+	if _, ok := r.Lookup([]byte("user00000001")); ok {
+		t.Fatal("empty ring returned a shard")
+	}
+	if got := r.Shards(); len(got) != 0 {
+		t.Fatalf("empty ring shards = %v", got)
+	}
+	r.Add(7)
+	for i := uint64(0); i < 100; i++ {
+		s, ok := r.Lookup(workload.Key(i))
+		if !ok || s != 7 {
+			t.Fatalf("single-shard ring routed key %d to (%d, %v)", i, s, ok)
+		}
+	}
+	r.Remove(7)
+	if _, ok := r.Lookup([]byte("k")); ok {
+		t.Fatal("ring still routes after removing its only shard")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0) // DefaultVNodes
+	const shards = 4
+	for s := 0; s < shards; s++ {
+		r.Add(s)
+	}
+	const keys = 10_000
+	counts := make([]int, shards)
+	for i := uint64(0); i < keys; i++ {
+		s, ok := r.Lookup(workload.Key(i))
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		// Perfect balance is 2500; consistent hashing with 64 vnodes
+		// should land every shard within a loose 2x band.
+		if n < keys/(2*shards) || n > keys/shards*2 {
+			t.Fatalf("shard %d owns %d of %d keys (counts %v)", s, n, keys, counts)
+		}
+	}
+}
+
+// TestRingIdempotentMembership pins Add/Remove of present/absent shards
+// as no-ops.
+func TestRingIdempotentMembership(t *testing.T) {
+	r := NewRing(8)
+	r.Add(1)
+	r.Add(1)
+	if len(r.points) != 8 {
+		t.Fatalf("double Add duplicated points: %d", len(r.points))
+	}
+	r.Remove(2) // absent
+	if len(r.points) != 8 || r.Size() != 1 {
+		t.Fatalf("Remove of absent shard mutated ring: %d points, %d shards",
+			len(r.points), r.Size())
+	}
+}
+
+// TestRingRemapStability is the consistent-hashing property: removing
+// one shard remaps ONLY the keys that shard owned — every key owned by a
+// surviving shard keeps its owner. And re-adding the shard restores the
+// original partition exactly (the failover-replacement guarantee: a
+// replacement booted under the dead shard's ID sees the same keyspace).
+func TestRingRemapStability(t *testing.T) {
+	const shards, keys = 5, 5_000
+	r := NewRing(0)
+	for s := 0; s < shards; s++ {
+		r.Add(s)
+	}
+	before := make([]int, keys)
+	for i := range before {
+		s, ok := r.Lookup(workload.Key(uint64(i)))
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		before[i] = s
+	}
+
+	const victim = 2
+	r.Remove(victim)
+	moved := 0
+	for i := range before {
+		s, ok := r.Lookup(workload.Key(uint64(i)))
+		if !ok {
+			t.Fatal("lookup failed after removal")
+		}
+		if before[i] == victim {
+			moved++
+			if s == victim {
+				t.Fatalf("key %d still routed to removed shard", i)
+			}
+			continue
+		}
+		if s != before[i] {
+			t.Fatalf("key %d moved from surviving shard %d to %d", i, before[i], s)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim shard owned no keys; test vacuous")
+	}
+
+	r.Add(victim)
+	for i := range before {
+		s, _ := r.Lookup(workload.Key(uint64(i)))
+		if s != before[i] {
+			t.Fatalf("re-adding shard did not restore partition: key %d %d->%d",
+				i, before[i], s)
+		}
+	}
+}
+
+// TestRingOrderIndependence pins that the partition depends only on the
+// member set, not insertion order.
+func TestRingOrderIndependence(t *testing.T) {
+	a, b := NewRing(32), NewRing(32)
+	for _, s := range []int{0, 1, 2, 3} {
+		a.Add(s)
+	}
+	for _, s := range []int{3, 1, 0, 2} {
+		b.Add(s)
+	}
+	for i := uint64(0); i < 2_000; i++ {
+		sa, _ := a.Lookup(workload.Key(i))
+		sb, _ := b.Lookup(workload.Key(i))
+		if sa != sb {
+			t.Fatalf("insertion order changed routing of key %d: %d vs %d", i, sa, sb)
+		}
+	}
+}

@@ -9,12 +9,8 @@ import (
 	"fmt"
 	"slices"
 
-	"rcoe/internal/compilerpass"
 	"rcoe/internal/core"
 	"rcoe/internal/device"
-	"rcoe/internal/guest"
-	"rcoe/internal/kernel"
-	"rcoe/internal/machine"
 	"rcoe/internal/netstack"
 	"rcoe/internal/workload"
 )
@@ -85,12 +81,14 @@ type KVResult struct {
 }
 
 // KVRun is a constructed, not-yet-run benchmark system, exposed so fault
-// campaigns can interpose an injector between steps.
+// campaigns can interpose an injector between steps. It is the degenerate
+// cluster: one Node plus the closed-loop client.
 type KVRun struct {
 	Sys *core.System
 	NIC *device.NIC
 	Gen *workload.Generator
 
+	node        *Node
 	opts        KVOptions
 	outstanding map[uint32]*pendingReq
 	finalIDs    map[uint32]bool // last request of each run-phase op
@@ -133,80 +131,30 @@ func NewKV(opts KVOptions) (*KVRun, error) {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 2_000_000_000
 	}
-	driver := guest.DriverLC
-	if opts.System.Mode == core.ModeCC {
-		driver = guest.DriverCC
-	}
-	dmaBase, _ := core.DMARegion()
-	nic := device.NewNIC(nicMMIOBase, dmaBase, NICLine)
-
 	totalReqs := opts.Records + opts.Operations
 	if opts.Workload == workload.YCSBF {
 		// Read-modify-writes issue two requests per op; over-provision
 		// the server's exit budget and stop injecting when ops are done.
 		totalReqs += opts.Operations
 	}
-	p := guest.KVApp(guest.KVConfig{
-		Driver:      driver,
-		Requests:    totalReqs,
-		Slots:       opts.Slots,
-		TraceOutput: opts.TraceOutput,
-		IRQLine:     NICLine,
-		RxFlagPA:    nic.RxFlagPA(),
-		RxLenPA:     nic.RxLenPA(),
-		RxDataPA:    nic.RxDataPA(),
-		TxFlagPA:    nic.TxFlagPA(),
-		TxLenPA:     nic.TxLenPA(),
-		TxDataPA:    nic.TxDataPA(),
-		DoorbellPA:  nicMMIOBase + device.RegTxDoorbell,
+	node, err := NewNode(NodeOptions{
+		System:        opts.System,
+		Slots:         opts.Slots,
+		RequestBudget: totalReqs,
+		TraceOutput:   opts.TraceOutput,
 	})
-	b := p.Build()
-	cfg := opts.System
-	if cfg.Profile.Name == "" {
-		cfg.Profile = machine.X86()
-	}
-	if cfg.Mode == core.ModeCC && !cfg.Profile.PrecisePMU {
-		compilerpass.Instrument(b)
-	}
-	prog, err := b.Assemble(kernel.TextVA)
 	if err != nil {
-		return nil, fmt.Errorf("harness: assemble kvapp: %w", err)
-	}
-	if cfg.Mode == core.ModeCC && !cfg.Profile.PrecisePMU {
-		cfg.BranchSites = compilerpass.BranchSites(prog, kernel.TextVA)
-	}
-	if cfg.PartitionBytes == 0 {
-		// Size the partition for the table plus text, stacks and the
-		// kernel area.
-		cfg.PartitionBytes = nextPow2(p.DataBytes + 640<<10)
-	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return nil, err
-	}
-	m := sys.Machine()
-	m.MapMMIO(nicMMIOBase, device.NICWindowSize, nic)
-	m.AddDevice(nic)
-	sys.RegisterDeviceWindow(0, nicMMIOBase, device.NICWindowSize)
-	if err := sys.Load(kernel.ProcessConfig{
-		Prog: prog, DataBytes: p.DataBytes, Arg: p.Arg, Stacks: p.Stacks,
-		Relocs: b.Relocs(),
-	}); err != nil {
 		return nil, err
 	}
 	run := &KVRun{
-		Sys:         sys,
-		NIC:         nic,
+		Sys:         node.Sys(),
+		NIC:         node.NIC(),
 		Gen:         workload.NewGenerator(opts.Workload, opts.Records, opts.Seed),
+		node:        node,
 		opts:        opts,
 		outstanding: make(map[uint32]*pendingReq),
 		finalIDs:    make(map[uint32]bool),
 	}
-	// On a primary failover, free the RX mailbox the dead primary may
-	// have left claimed so the NIC can resume delivery.
-	sys.SetPrimaryChangeHook(func(int) {
-		_ = sys.Machine().Mem().WriteU(nic.RxFlagPA(), 8, 0)
-	})
 	run.queue = append(run.queue, run.Gen.LoadRequests()...)
 	run.loadLeft = len(run.queue)
 	return run, nil
@@ -336,6 +284,9 @@ func (r *KVRun) drain() {
 		}
 	}
 }
+
+// Node returns the underlying server node.
+func (r *KVRun) Node() *Node { return r.node }
 
 // Done reports whether the run phase completed.
 func (r *KVRun) Done() bool {

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+
+	"rcoe/internal/compilerpass"
+	"rcoe/internal/core"
+	"rcoe/internal/device"
+	"rcoe/internal/guest"
+	"rcoe/internal/kernel"
+	"rcoe/internal/machine"
+	"rcoe/internal/metrics"
+	"rcoe/internal/snapshot"
+	"rcoe/internal/trace"
+)
+
+// Node is one self-contained replicated key-value server: a replicated
+// system (DMR or TMR internally), its NIC, and the server program — the
+// paper's single machine, packaged so that N of them can be composed into
+// a sharded cluster (internal/cluster). The boundary deliberately exposes
+// exactly what a cluster layer needs and nothing more:
+//
+//   - boot (NewNode) and time (RunCycles/Now/Halted/Finished);
+//   - frame service (Inject/TakeResponses) over the netstack protocol;
+//   - state transfer (SaveState/LoadState, the snapshot.Snapshotter
+//     boundary from the checkpoint/restore subsystem);
+//   - redundancy-mode control (InjectStall, RequestReintegrate,
+//     AliveCount) so a policy layer can trade redundancy for throughput
+//     per shard;
+//   - observability (Metrics, TraceRecorder, Detections, Stats).
+//
+// The single-node KV benchmark (KVRun) is the degenerate composition: one
+// Node plus the closed-loop client.
+type Node struct {
+	sys  *core.System
+	nic  *device.NIC
+	opts NodeOptions
+}
+
+// NodeOptions configures a node boot.
+type NodeOptions struct {
+	// System is the replication configuration of this node.
+	System core.Config
+	// Slots is the server hash-table size (power of two; 4096 when 0).
+	Slots uint64
+	// RequestBudget is the number of requests the server serves before
+	// exiting cleanly. Closed-loop benchmarks size it exactly; serving
+	// nodes over-provision it (0 selects a practically unbounded budget).
+	RequestBudget uint64
+	// TraceOutput controls FT_Add_Trace on responses (the -N
+	// configurations of Table VII disable it).
+	TraceOutput bool
+}
+
+// NewNode boots a replicated key-value server node: builds the server
+// program for the configured coupling mode, assembles it, constructs the
+// replicated system with its NIC, and loads every replica.
+func NewNode(opts NodeOptions) (*Node, error) {
+	if opts.Slots == 0 {
+		opts.Slots = 4096
+	}
+	if opts.RequestBudget == 0 {
+		opts.RequestBudget = 1 << 32
+	}
+	driver := guest.DriverLC
+	if opts.System.Mode == core.ModeCC {
+		driver = guest.DriverCC
+	}
+	dmaBase, _ := core.DMARegion()
+	nic := device.NewNIC(nicMMIOBase, dmaBase, NICLine)
+
+	p := guest.KVApp(guest.KVConfig{
+		Driver:      driver,
+		Requests:    opts.RequestBudget,
+		Slots:       opts.Slots,
+		TraceOutput: opts.TraceOutput,
+		IRQLine:     NICLine,
+		RxFlagPA:    nic.RxFlagPA(),
+		RxLenPA:     nic.RxLenPA(),
+		RxDataPA:    nic.RxDataPA(),
+		TxFlagPA:    nic.TxFlagPA(),
+		TxLenPA:     nic.TxLenPA(),
+		TxDataPA:    nic.TxDataPA(),
+		DoorbellPA:  nicMMIOBase + device.RegTxDoorbell,
+	})
+	b := p.Build()
+	cfg := opts.System
+	if cfg.Profile.Name == "" {
+		cfg.Profile = machine.X86()
+	}
+	if cfg.Mode == core.ModeCC && !cfg.Profile.PrecisePMU {
+		compilerpass.Instrument(b)
+	}
+	prog, err := b.Assemble(kernel.TextVA)
+	if err != nil {
+		return nil, fmt.Errorf("harness: assemble kvapp: %w", err)
+	}
+	if cfg.Mode == core.ModeCC && !cfg.Profile.PrecisePMU {
+		cfg.BranchSites = compilerpass.BranchSites(prog, kernel.TextVA)
+	}
+	if cfg.PartitionBytes == 0 {
+		// Size the partition for the table plus text, stacks and the
+		// kernel area.
+		cfg.PartitionBytes = nextPow2(p.DataBytes + 640<<10)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := sys.Machine()
+	m.MapMMIO(nicMMIOBase, device.NICWindowSize, nic)
+	m.AddDevice(nic)
+	sys.RegisterDeviceWindow(0, nicMMIOBase, device.NICWindowSize)
+	if err := sys.Load(kernel.ProcessConfig{
+		Prog: prog, DataBytes: p.DataBytes, Arg: p.Arg, Stacks: p.Stacks,
+		Relocs: b.Relocs(),
+	}); err != nil {
+		return nil, err
+	}
+	n := &Node{sys: sys, nic: nic, opts: opts}
+	// On a primary failover, free the RX mailbox the dead primary may
+	// have left claimed so the NIC can resume delivery.
+	sys.SetPrimaryChangeHook(func(int) {
+		_ = sys.Machine().Mem().WriteU(nic.RxFlagPA(), 8, 0)
+	})
+	return n, nil
+}
+
+// Sys returns the replicated system (fault injectors and campaigns need
+// raw access).
+func (n *Node) Sys() *core.System { return n.sys }
+
+// NIC returns the node's network interface.
+func (n *Node) NIC() *device.NIC { return n.nic }
+
+// Options returns the boot options.
+func (n *Node) Options() NodeOptions { return n.opts }
+
+// Inject queues a request frame for delivery to the server.
+func (n *Node) Inject(frame []byte) { n.nic.Inject(frame) }
+
+// TakeResponses returns and clears the server's transmitted frames.
+func (n *Node) TakeResponses() [][]byte { return n.nic.TakeResponses() }
+
+// PendingRx returns the number of injected frames not yet delivered.
+func (n *Node) PendingRx() int { return n.nic.PendingRx() }
+
+// RunCycles advances the node's machine by n cycles (stopping early if the
+// system halts or finishes).
+func (n *Node) RunCycles(c uint64) { n.sys.RunCycles(c) }
+
+// Now returns the node's machine cycle counter.
+func (n *Node) Now() uint64 { return n.sys.Machine().Now() }
+
+// Halted reports whether the node fail-stopped, with the reason.
+func (n *Node) Halted() (bool, string) { return n.sys.Halted() }
+
+// Finished reports whether the server exited cleanly.
+func (n *Node) Finished() bool { return n.sys.Finished() }
+
+// InjectStall marks a replica to hang at its next kernel entry; its peers
+// eject it on barrier timeout (the TMR->DMR downgrade path).
+func (n *Node) InjectStall(rid int) { n.sys.InjectStall(rid) }
+
+// RequestReintegrate schedules live re-integration of a removed replica
+// at the next drained rendezvous.
+func (n *Node) RequestReintegrate(rid int) error { return n.sys.RequestReintegrate(rid) }
+
+// ReintegrateOutcome reports the pending re-integration request's state.
+func (n *Node) ReintegrateOutcome() (pending bool, err error) { return n.sys.ReintegrateOutcome() }
+
+// AliveCount returns the number of replicas still in the configuration —
+// the node's current redundancy level.
+func (n *Node) AliveCount() int { return n.sys.AliveCount() }
+
+// NumReplicas returns the configured replica count.
+func (n *Node) NumReplicas() int { return n.sys.NumReplicas() }
+
+// Alive reports whether replica rid is still in the configuration.
+func (n *Node) Alive(rid int) bool { return n.sys.Alive(rid) }
+
+// Primary returns the current primary replica's ID.
+func (n *Node) Primary() int { return n.sys.Primary() }
+
+// Detections returns the node's recorded detection events.
+func (n *Node) Detections() []core.Detection { return n.sys.Detections() }
+
+// Stats returns the node's replication counters.
+func (n *Node) Stats() core.Stats { return n.sys.Stats() }
+
+// Metrics returns the node's metric set (nil when tracing is disabled).
+func (n *Node) Metrics() *metrics.Set { return n.sys.Metrics() }
+
+// MetricsSnapshot copies the node's metrics at the current cycle.
+func (n *Node) MetricsSnapshot() metrics.Snapshot { return n.sys.MetricsSnapshot() }
+
+// TraceRecorder returns the node's flight recorder (nil when disabled).
+func (n *Node) TraceRecorder() *trace.Recorder { return n.sys.TraceRecorder() }
+
+// SaveState implements snapshot.Snapshotter: the node's identity sections
+// plus the full replicated-system state. A node checkpoint is the state-
+// transfer unit behind shard failover and migration.
+func (n *Node) SaveState(w *snapshot.Writer) error {
+	e := w.Section("node.meta")
+	e.Int(int(n.sys.Config().Mode))
+	e.Int(n.sys.Config().Replicas)
+	e.U64(n.opts.Slots)
+	e.U64(n.opts.RequestBudget)
+	e.Bool(n.opts.TraceOutput)
+	return n.sys.SaveState(w)
+}
+
+// LoadState implements snapshot.Snapshotter. The target must be a node
+// freshly booted with behaviourally identical options.
+func (n *Node) LoadState(snap *snapshot.Snapshot) error {
+	d, err := snap.Section("node.meta")
+	if err != nil {
+		return err
+	}
+	checks := []struct {
+		field  string
+		target interface{}
+		snap   interface{}
+	}{
+		{"mode", int(n.sys.Config().Mode), d.Int()},
+		{"replicas", n.sys.Config().Replicas, d.Int()},
+		{"slots", n.opts.Slots, d.U64()},
+		{"request-budget", n.opts.RequestBudget, d.U64()},
+		{"trace-output", n.opts.TraceOutput, d.Bool()},
+	}
+	if err := d.Close(); err != nil {
+		return err
+	}
+	for _, c := range checks {
+		if c.target != c.snap {
+			return snapshot.IncompatibleError("node.meta", c.field, c.target, c.snap)
+		}
+	}
+	return n.sys.LoadState(snap)
+}

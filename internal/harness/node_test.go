@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rcoe/internal/core"
+	"rcoe/internal/netstack"
+	"rcoe/internal/snapshot"
+	"rcoe/internal/workload"
+)
+
+// serveOne injects one request frame and runs the node until its response
+// arrives (or the cycle budget runs out).
+func serveOne(t *testing.T, n *Node, req netstack.Request) netstack.Response {
+	t.Helper()
+	frame, err := netstack.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	n.Inject(frame)
+	for i := 0; i < 4000; i++ {
+		n.RunCycles(2_000)
+		if halted, reason := n.Halted(); halted {
+			t.Fatalf("node halted: %s", reason)
+		}
+		for _, f := range n.TakeResponses() {
+			resp, err := netstack.DecodeResponse(f)
+			if err != nil {
+				t.Fatalf("decode response: %v", err)
+			}
+			if resp.ReqID == req.ReqID {
+				return resp
+			}
+		}
+	}
+	t.Fatalf("no response to request %d", req.ReqID)
+	return netstack.Response{}
+}
+
+// TestNodeServesFrames boots a bare node (no client harness) and speaks
+// the frame protocol at it directly: SET then GET round-trips the value.
+func TestNodeServesFrames(t *testing.T) {
+	n, err := NewNode(NodeOptions{
+		System: core.Config{Mode: core.ModeLC, Replicas: 2, TickCycles: 50_000},
+		Slots:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := workload.Key(3)
+	val := workload.Value(3, 0)
+	set := serveOne(t, n, netstack.Request{Op: netstack.OpSet, ReqID: 1, Key: key, Value: val})
+	if set.Status != netstack.StatusOK {
+		t.Fatalf("SET status %d", set.Status)
+	}
+	get := serveOne(t, n, netstack.Request{Op: netstack.OpGet, ReqID: 2, Key: key})
+	if get.Status != netstack.StatusOK {
+		t.Fatalf("GET status %d", get.Status)
+	}
+	if !bytes.Equal(get.Value, val) {
+		t.Fatalf("GET value mismatch: %d bytes vs %d", len(get.Value), len(val))
+	}
+	miss := serveOne(t, n, netstack.Request{Op: netstack.OpGet, ReqID: 3, Key: workload.Key(9)})
+	if miss.Status != netstack.StatusNotFound {
+		t.Fatalf("missing key status %d, want not-found", miss.Status)
+	}
+}
+
+// TestNodeStateTransfer checkpoints a node holding data and restores it
+// into a freshly booted twin: the value survives, and re-saving the twin
+// reproduces the checkpoint byte for byte.
+func TestNodeStateTransfer(t *testing.T) {
+	opts := NodeOptions{
+		System: core.Config{Mode: core.ModeLC, Replicas: 2, TickCycles: 50_000},
+		Slots:  64,
+	}
+	n, err := NewNode(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := workload.Key(7)
+	val := workload.Value(7, 1)
+	if resp := serveOne(t, n, netstack.Request{Op: netstack.OpSet, ReqID: 1, Key: key, Value: val}); resp.Status != netstack.StatusOK {
+		t.Fatalf("SET status %d", resp.Status)
+	}
+	ckpt, err := snapshot.Save(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	twin, err := NewNode(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Restore(twin, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	resave, err := snapshot.Save(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckpt, resave) {
+		t.Fatal("restore -> save round trip is not byte-identical")
+	}
+	get := serveOne(t, twin, netstack.Request{Op: netstack.OpGet, ReqID: 2, Key: key})
+	if get.Status != netstack.StatusOK || !bytes.Equal(get.Value, val) {
+		t.Fatalf("restored node lost the value (status %d)", get.Status)
+	}
+}
+
+// TestNodeStateTransferRejectsMismatch pins the state-transfer guard: a
+// checkpoint cannot land on a node booted with different options.
+func TestNodeStateTransferRejectsMismatch(t *testing.T) {
+	n, err := NewNode(NodeOptions{
+		System: core.Config{Mode: core.ModeLC, Replicas: 2, TickCycles: 50_000},
+		Slots:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := snapshot.Save(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewNode(NodeOptions{
+		System: core.Config{Mode: core.ModeLC, Replicas: 2, TickCycles: 50_000},
+		Slots:  128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Restore(other, ckpt); !errors.Is(err, snapshot.ErrIncompatible) {
+		t.Fatalf("restore into mismatched node: %v, want ErrIncompatible", err)
+	}
+}
+
+// TestNodeRedundancyControl drives the per-shard redundancy knob: a TMR
+// node downgrades to DMR when a replica stalls (serving continues), then
+// re-integrates back to TMR — all through the Node boundary alone.
+func TestNodeRedundancyControl(t *testing.T) {
+	n, err := NewNode(NodeOptions{
+		System: core.Config{
+			Mode: core.ModeLC, Replicas: 3, Masking: true,
+			TickCycles: 50_000, BarrierTimeout: 200_000,
+		},
+		Slots: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := workload.Key(1)
+	if resp := serveOne(t, n, netstack.Request{Op: netstack.OpSet, ReqID: 1, Key: key, Value: workload.Value(1, 0)}); resp.Status != netstack.StatusOK {
+		t.Fatalf("SET status %d", resp.Status)
+	}
+	n.InjectStall(2)
+	for i := 0; i < 2000 && n.AliveCount() == 3; i++ {
+		n.RunCycles(2_000)
+	}
+	if got := n.AliveCount(); got != 2 {
+		t.Fatalf("alive count after stall = %d, want 2 (TMR->DMR)", got)
+	}
+	// The downgraded node keeps serving.
+	get := serveOne(t, n, netstack.Request{Op: netstack.OpGet, ReqID: 2, Key: key})
+	if get.Status != netstack.StatusOK {
+		t.Fatalf("DMR GET status %d", get.Status)
+	}
+	if err := n.RequestReintegrate(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000 && n.AliveCount() != 3; i++ {
+		n.RunCycles(2_000)
+		serveOne(t, n, netstack.Request{Op: netstack.OpGet, ReqID: uint32(100 + i), Key: key})
+	}
+	if got := n.AliveCount(); got != 3 {
+		_, rerr := n.ReintegrateOutcome()
+		t.Fatalf("alive count after reintegrate = %d, want 3 (err %v)", got, rerr)
+	}
+}

@@ -74,7 +74,7 @@ func (r *KVRun) SaveState(w *snapshot.Writer) error {
 
 	r.Gen.SaveState(w.Section("harness.gen"))
 
-	return r.Sys.SaveState(w)
+	return r.node.SaveState(w)
 }
 
 func saveRequest(e *snapshot.Enc, req netstack.Request) {
@@ -100,7 +100,7 @@ func (r *KVRun) LoadState(snap *snapshot.Snapshot) error {
 	if err := r.verifyMeta(snap); err != nil {
 		return err
 	}
-	if err := r.Sys.LoadState(snap); err != nil {
+	if err := r.node.LoadState(snap); err != nil {
 		return err
 	}
 	d, err := snap.Section("harness")

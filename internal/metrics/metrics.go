@@ -165,6 +165,31 @@ func boundAdjust(upper, max uint64) uint64 {
 	return 1
 }
 
+// mergeFrom folds another histogram's observations into h. Because the
+// full bucket vector is kept, the merge is exact: the result is
+// indistinguishable from one histogram having observed both input
+// streams (quantiles included, at bucket resolution).
+func (h *Histogram) mergeFrom(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		*h = *o
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // String renders a one-line summary.
 func (h *Histogram) String() string {
 	if h.Count() == 0 {
@@ -211,6 +236,48 @@ type Set struct {
 // New returns an enabled, empty metric set.
 func New() *Set { return &Set{} }
 
+// histMeta and ctrMeta carry the display name (and unit) of each entry of
+// histList/ctrList (state.go), index-parallel: the lists fix the
+// serialization order, these fix the rendering.
+var histMeta = []struct{ name, unit string }{
+	{"barrier-wait", "cycles"},
+	{"vote-latency", "cycles"},
+	{"catch-up-deficit", "branches"},
+	{"detect-latency", "cycles"},
+	{"downgrade-cost", "cycles"},
+	{"reintegration-window", "cycles"},
+	{"kv-window-ops", "ops"},
+}
+
+var ctrMeta = []string{
+	"syncs", "votes", "vote-fails", "ejections", "reintegrations",
+	"trace-events",
+}
+
+// Merge returns a new Set holding the exact element-wise aggregation of
+// the inputs: counters add, histograms merge at full bucket resolution
+// (not from rendered snapshot summaries, which would lose the quantile
+// structure). Nil sets — replicated systems without metrics enabled —
+// are skipped. The cluster layer uses Merge to report fleet-wide
+// counters and histograms across shards.
+func Merge(sets ...*Set) *Set {
+	out := New()
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		dst, src := out.histList(), s.histList()
+		for i := range dst {
+			dst[i].mergeFrom(src[i])
+		}
+		dctr, sctr := out.ctrList(), s.ctrList()
+		for i := range dctr {
+			dctr[i].Add(sctr[i].Value())
+		}
+	}
+	return out
+}
+
 // Snapshot is an immutable copy of a Set taken at a point in time.
 type Snapshot struct {
 	At   uint64 // machine cycle of the snapshot
@@ -243,38 +310,15 @@ func (s *Set) Snapshot(atCycle uint64) Snapshot {
 	if s == nil {
 		return snap
 	}
-	hists := []struct {
-		name, unit string
-		h          *Histogram
-	}{
-		{"barrier-wait", "cycles", &s.BarrierWait},
-		{"vote-latency", "cycles", &s.VoteLatency},
-		{"catch-up-deficit", "branches", &s.CatchUpDeficit},
-		{"detect-latency", "cycles", &s.DetectLatency},
-		{"downgrade-cost", "cycles", &s.DowngradeCost},
-		{"reintegration-window", "cycles", &s.ReintegrationWindow},
-		{"kv-window-ops", "ops", &s.KVWindowOps},
-	}
-	for _, e := range hists {
+	for i, h := range s.histList() {
 		snap.Hist = append(snap.Hist, HistSnapshot{
-			Name: e.name, Unit: e.unit,
-			Count: e.h.Count(), Mean: e.h.Mean(), Min: e.h.Min(),
-			P50: e.h.Quantile(0.50), P99: e.h.Quantile(0.99), Max: e.h.Max(),
+			Name: histMeta[i].name, Unit: histMeta[i].unit,
+			Count: h.Count(), Mean: h.Mean(), Min: h.Min(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), Max: h.Max(),
 		})
 	}
-	ctrs := []struct {
-		name string
-		c    *Counter
-	}{
-		{"syncs", &s.Syncs},
-		{"votes", &s.Votes},
-		{"vote-fails", &s.VoteFails},
-		{"ejections", &s.Ejections},
-		{"reintegrations", &s.Reintegs},
-		{"trace-events", &s.TraceEvents},
-	}
-	for _, e := range ctrs {
-		snap.Ctr = append(snap.Ctr, CtrSnapshot{Name: e.name, Value: e.c.Value()})
+	for i, c := range s.ctrList() {
+		snap.Ctr = append(snap.Ctr, CtrSnapshot{Name: ctrMeta[i], Value: c.Value()})
 	}
 	return snap
 }

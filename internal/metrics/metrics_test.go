@@ -178,3 +178,67 @@ func TestQuantileInclusiveBucketEdge(t *testing.T) {
 		t.Fatalf("max-clamped quantile = %d, want 3", got)
 	}
 }
+
+// TestMergeExact pins the Merge contract: merging per-shard sets is
+// indistinguishable from one set having observed every stream.
+func TestMergeExact(t *testing.T) {
+	a, b, whole := New(), New(), New()
+	for i := uint64(1); i <= 100; i++ {
+		a.BarrierWait.Observe(i)
+		whole.BarrierWait.Observe(i)
+	}
+	for i := uint64(1000); i <= 1040; i++ {
+		b.BarrierWait.Observe(i)
+		whole.BarrierWait.Observe(i)
+	}
+	a.Ejections.Add(3)
+	b.Ejections.Add(4)
+	whole.Ejections.Add(7)
+	b.VoteLatency.Observe(17)
+	whole.VoteLatency.Observe(17)
+
+	m := Merge(a, nil, b)
+	for _, tc := range []struct {
+		name      string
+		got, want uint64
+	}{
+		{"count", m.BarrierWait.Count(), whole.BarrierWait.Count()},
+		{"sum", m.BarrierWait.Sum(), whole.BarrierWait.Sum()},
+		{"min", m.BarrierWait.Min(), whole.BarrierWait.Min()},
+		{"max", m.BarrierWait.Max(), whole.BarrierWait.Max()},
+		{"p50", m.BarrierWait.Quantile(0.5), whole.BarrierWait.Quantile(0.5)},
+		{"p99", m.BarrierWait.Quantile(0.99), whole.BarrierWait.Quantile(0.99)},
+		{"ejections", m.Ejections.Value(), whole.Ejections.Value()},
+		{"vote-latency-n", m.VoteLatency.Count(), whole.VoteLatency.Count()},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s: merged %d, whole %d", tc.name, tc.got, tc.want)
+		}
+	}
+	// Inputs are untouched.
+	if a.BarrierWait.Count() != 100 || b.BarrierWait.Count() != 41 {
+		t.Error("Merge mutated an input set")
+	}
+}
+
+// TestMergeEmptyAndNil covers the edges: no sets, all-nil, and merging
+// into an empty histogram (count==0 copy path).
+func TestMergeEmptyAndNil(t *testing.T) {
+	if m := Merge(); m.BarrierWait.Count() != 0 {
+		t.Error("empty merge not empty")
+	}
+	if m := Merge(nil, nil); m.Syncs.Value() != 0 {
+		t.Error("nil merge not empty")
+	}
+	one := New()
+	one.KVWindowOps.Observe(5)
+	one.KVWindowOps.Observe(9)
+	m := Merge(nil, one)
+	if m.KVWindowOps.Count() != 2 || m.KVWindowOps.Min() != 5 || m.KVWindowOps.Max() != 9 {
+		t.Errorf("single-set merge: n=%d min=%d max=%d", m.KVWindowOps.Count(), m.KVWindowOps.Min(), m.KVWindowOps.Max())
+	}
+	// Snapshot of a merged set renders like any other.
+	if got := m.Snapshot(0).HistByName("kv-window-ops").Count; got != 2 {
+		t.Errorf("snapshot of merged set: n=%d", got)
+	}
+}

@@ -106,8 +106,11 @@ func DecodeResponse(b []byte) (Response, error) {
 	}, nil
 }
 
-// DecodeRequest parses a request frame (used by tests and the baseline
-// in-Go server model).
+// DecodeRequest parses a request frame. The cluster router decodes
+// frames from arbitrary sources, so the decoder is total and strict:
+// every length field is bounds-checked against both the protocol limits
+// and the actual buffer, and unknown opcodes are rejected rather than
+// decoded as a GET-shaped frame.
 func DecodeRequest(b []byte) (Request, error) {
 	if len(b) < HeaderBytes {
 		return Request{}, fmt.Errorf("%w: short request", ErrBadFrame)
@@ -118,15 +121,21 @@ func DecodeRequest(b []byte) (Request, error) {
 		Op:    b[0],
 		ReqID: uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
 	}
+	if r.Op != OpGet && r.Op != OpSet && r.Op != OpScan {
+		return Request{}, fmt.Errorf("%w: unknown op %d", ErrBadFrame, r.Op)
+	}
 	if klen == 0 || klen > MaxKey || HeaderBytes+klen > len(b) {
 		return Request{}, fmt.Errorf("%w: key length %d", ErrBadFrame, klen)
 	}
 	r.Key = append([]byte(nil), b[HeaderBytes:HeaderBytes+klen]...)
 	switch r.Op {
 	case OpScan:
+		if vlen > MaxValue {
+			return Request{}, fmt.Errorf("%w: scan count %d", ErrBadFrame, vlen)
+		}
 		r.ScanCount = vlen
 	case OpSet:
-		if HeaderBytes+klen+vlen > len(b) {
+		if vlen > MaxValue || HeaderBytes+klen+vlen > len(b) {
 			return Request{}, fmt.Errorf("%w: value length %d", ErrBadFrame, vlen)
 		}
 		r.Value = append([]byte(nil), b[HeaderBytes+klen:HeaderBytes+klen+vlen]...)

@@ -13,6 +13,9 @@
 //   - run fault-injection campaigns (MemCampaign, RegCampaign,
 //     HardCampaign, RecoveryTrial, SurvivalTrial, Soak);
 //   - drive the Redis-stand-in system benchmark (RunKV);
+//   - compose replicated nodes into a sharded cluster with
+//     consistent-hash routing and state-transfer failover (RunCluster,
+//     ClusterFailoverDrill — see cmd/rcoe-cluster);
 //   - record per-replica flight-recorder traces and metrics for
 //     divergence forensics (TraceConfig, MetricsSnapshot,
 //     CaptureForensics — see cmd/rcoe-trace).
@@ -24,6 +27,7 @@ package rcoe
 import (
 	"rcoe/internal/asm"
 	"rcoe/internal/bench"
+	"rcoe/internal/cluster"
 	"rcoe/internal/compilerpass"
 	"rcoe/internal/core"
 	"rcoe/internal/exp"
@@ -209,6 +213,54 @@ const (
 
 // RunKV runs the replicated key-value server under YCSB-style load.
 func RunKV(opts KVOptions) (KVResult, error) { return harness.RunKV(opts) }
+
+// The sharded cluster (see cmd/rcoe-cluster and DESIGN.md §4j).
+type (
+	// Node is one self-contained replicated key-value server — the unit
+	// the cluster composes and the state-transfer boundary of shard
+	// failover.
+	Node = harness.Node
+	// NodeOptions configures a node boot.
+	NodeOptions = harness.NodeOptions
+	// ClusterOptions configures a sharded cluster run: shard count,
+	// per-shard replication, the partitioned YCSB workload and the
+	// client-stream layout.
+	ClusterOptions = cluster.Options
+	// ClusterResult is a cluster run's outcome, including the
+	// acknowledged-write audit and per-shard statistics.
+	ClusterResult = cluster.Result
+	// Cluster is a constructed, steppable sharded system (failover,
+	// per-shard redundancy control, checkpointing).
+	Cluster = cluster.Cluster
+	// ClusterRing is the consistent-hash router partitioning the
+	// keyspace over shards.
+	ClusterRing = cluster.Ring
+	// ClusterArtifact is the rcoe-cluster/v1 result artifact.
+	ClusterArtifact = cluster.Artifact
+)
+
+// NewNode boots one replicated key-value server node.
+func NewNode(opts NodeOptions) (*Node, error) { return harness.NewNode(opts) }
+
+// NewCluster builds a sharded cluster ready to step or Run.
+func NewCluster(opts ClusterOptions) (*Cluster, error) { return cluster.New(opts) }
+
+// RunCluster runs a sharded cluster end to end: preload, run phase, and
+// the acknowledged-write audit.
+func RunCluster(opts ClusterOptions) (ClusterResult, error) { return cluster.Run(opts) }
+
+// ClusterBench sweeps the standard per-shard replication configurations
+// over one cluster shape, fanned across host workers; worker count
+// never changes the artifact.
+func ClusterBench(opts cluster.BenchOptions) (*ClusterArtifact, error) {
+	return cluster.Bench(opts)
+}
+
+// ClusterFailoverDrill kills shard nodes mid-run, transfers state to
+// fresh nodes, and audits that no acknowledged write was lost.
+func ClusterFailoverDrill(opts cluster.FailoverOptions) (*ClusterArtifact, error) {
+	return cluster.FailoverDrill(opts)
+}
 
 // Fault injection (Tables VII-X, Fig 4).
 type (
