@@ -49,6 +49,72 @@ func TestClusterBenchWorkerInvariant(t *testing.T) {
 	}
 }
 
+// TestClusterShardWorkersInvariant sweeps the round-level host pool:
+// the bench artifact must be byte-identical whether shard chunks run
+// serially (1), on a fixed small pool (3), or one worker per host core
+// (0). Shard-worker count is pure host scheduling — fill and drain stay
+// serialized in shard-ID order, so no artifact byte may move.
+func TestClusterShardWorkersInvariant(t *testing.T) {
+	artifacts := make([][]byte, 0, 3)
+	for _, workers := range []int{1, 3, 0} {
+		base := clusterBase()
+		base.ShardWorkers = workers
+		art, err := rcoe.ClusterBench(cluster.BenchOptions{Base: base})
+		if err != nil {
+			t.Fatalf("shard-workers=%d: %v", workers, err)
+		}
+		data, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	for i := 1; i < len(artifacts); i++ {
+		if string(artifacts[i]) != string(artifacts[0]) {
+			t.Fatalf("bench artifact differs across shard-worker counts:\n%s\n%s",
+				artifacts[0], artifacts[i])
+		}
+	}
+}
+
+// TestClusterFailoverShardWorkersInvariant runs the failover drill —
+// checkpoints, a mid-run node kill, state-transfer replay, and the
+// end-of-run audit all under the pool — at three worker counts and
+// requires byte-identical artifacts with zero lost acknowledged writes.
+func TestClusterFailoverShardWorkersInvariant(t *testing.T) {
+	artifacts := make([][]byte, 0, 3)
+	for _, workers := range []int{1, 3, 0} {
+		base := clusterBase()
+		base.System = core.Config{
+			Mode: core.ModeLC, Replicas: 3, Masking: true,
+			TickCycles: 50_000, BarrierTimeout: 2_000_000,
+		}
+		base.CheckpointRounds = 1_000
+		base.ShardWorkers = workers
+		art, err := rcoe.ClusterFailoverDrill(cluster.FailoverOptions{
+			Base: base, Victim: 2, KillAfterOps: 12,
+		})
+		if err != nil {
+			t.Fatalf("shard-workers=%d: %v", workers, err)
+		}
+		if res := art.Rows[0].Result; res.LostWrites != 0 {
+			t.Fatalf("shard-workers=%d: failover lost %d acknowledged writes",
+				workers, res.LostWrites)
+		}
+		data, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+	}
+	for i := 1; i < len(artifacts); i++ {
+		if string(artifacts[i]) != string(artifacts[0]) {
+			t.Fatalf("failover artifact differs across shard-worker counts:\n%s\n%s",
+				artifacts[0], artifacts[i])
+		}
+	}
+}
+
 // TestClusterFailoverSmoke kills one TMR shard mid-run and requires the
 // drill to finish with every acknowledged write intact.
 func TestClusterFailoverSmoke(t *testing.T) {

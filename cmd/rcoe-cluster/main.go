@@ -7,14 +7,20 @@
 //	rcoe-cluster run [-shards N] [-mode base|lc|cc] [-replicas N]
 //	                 [-masking] [-vnodes N] [-workload a-f] [-records N]
 //	                 [-ops N] [-streams N] [-window N] [-hot F] [-seed N]
+//	                 [-shard-workers N] [-pipeline K]
+//	                 [-cpuprofile FILE] [-memprofile FILE]
 //	                 [-json] [-out FILE]
 //	rcoe-cluster bench [-shards N] [-vnodes N] [-workload a-f]
 //	                   [-records N] [-ops N] [-streams N] [-seed N]
-//	                   [-parallel N] [-json] [-out FILE] [-quiet]
+//	                   [-shard-workers N] [-pipeline K] [-parallel N]
+//	                   [-cpuprofile FILE] [-memprofile FILE]
+//	                   [-json] [-out FILE] [-quiet]
 //	rcoe-cluster failover [-shards N] [-mode lc|cc] [-replicas N]
 //	                      [-masking] [-victim N] [-kill-after N]
 //	                      [-rolling] [-ckpt-rounds N] [-records N]
-//	                      [-ops N] [-seed N] [-json] [-out FILE]
+//	                      [-ops N] [-seed N] [-shard-workers N]
+//	                      [-cpuprofile FILE] [-memprofile FILE]
+//	                      [-json] [-out FILE]
 //
 // run executes one cluster configuration end to end (preload, run
 // phase, acknowledged-write audit) and reports fleet and per-shard
@@ -26,9 +32,17 @@
 // replay), finishes the run, and audits that no acknowledged write was
 // lost; -rolling rolls the drill through every shard.
 //
+// -shard-workers bounds the host goroutines advancing shard nodes
+// concurrently inside each lockstep round (0 = all cores, 1 = serial);
+// artifacts are byte-identical at any setting. -pipeline K lets each
+// client stream keep up to K operations in flight back to back instead
+// of strict per-op round-robin.
+//
 // -json emits a structured rcoe-cluster/v1 artifact (no host timings,
 // byte-reproducible); -out writes the artifact to a file, with the
 // path's writability checked before the campaign runs.
+// -cpuprofile/-memprofile write pprof profiles of the run (parity with
+// rcoe-bench) — the way the per-round router overhead is attributed.
 package main
 
 import (
@@ -36,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rcoe/internal/cluster"
@@ -76,6 +92,8 @@ func clusterFlags(fs *flag.FlagSet) func() (cluster.Options, error) {
 	hot := fs.Float64("hot", 0, "fraction of operations redirected to a single hot key")
 	seed := fs.Uint64("seed", 1, "cluster seed")
 	ckptRounds := fs.Uint64("ckpt-rounds", 0, "checkpoint every shard every N rounds (0 = off)")
+	shardWorkers := fs.Int("shard-workers", 0, "host goroutines advancing shards per round (0 = all cores, 1 = serial)")
+	pipeline := fs.Int("pipeline", 1, "consecutive ops drawn per client stream per scheduler visit")
 	return func() (cluster.Options, error) {
 		kind, err := parseWorkload(*wl)
 		if err != nil {
@@ -86,8 +104,42 @@ func clusterFlags(fs *flag.FlagSet) func() (cluster.Options, error) {
 			Records: *records, Operations: *ops, Streams: *streams,
 			Window: *window, HotKeyFraction: *hot, Seed: *seed,
 			CheckpointRounds: *ckptRounds,
+			ShardWorkers:     *shardWorkers, Pipeline: *pipeline,
 		}, nil
 	}
+}
+
+// profileFlags registers -cpuprofile/-memprofile (parity with
+// rcoe-bench) and returns start/stop hooks bracketing the campaign.
+func profileFlags(fs *flag.FlagSet) (start func() error, stop func() error) {
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to FILE")
+	memProfile := fs.String("memprofile", "", "write a heap profile to FILE at exit")
+	start = func() error {
+		if *cpuProfile == "" {
+			return nil
+		}
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		return pprof.StartCPUProfile(f)
+	}
+	stop = func() error {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile == "" {
+			return nil
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(f)
+	}
+	return start, stop
 }
 
 // systemFlags registers the per-shard replication flags.
@@ -203,6 +255,7 @@ func runOne(args []string) int {
 	fs := flag.NewFlagSet("rcoe-cluster run", flag.ExitOnError)
 	baseFn := clusterFlags(fs)
 	sysFn := systemFlags(fs)
+	profStart, profStop := profileFlags(fs)
 	jsonOut := fs.Bool("json", false, "emit the rcoe-cluster/v1 JSON artifact")
 	outFile := fs.String("out", "", "write the artifact (text or JSON) to FILE")
 	_ = fs.Parse(args)
@@ -214,11 +267,18 @@ func runOne(args []string) int {
 	if err == nil {
 		err = preflightOut(*outFile)
 	}
+	if err == nil {
+		err = profStart()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-cluster run: %v\n", err)
 		return 2
 	}
 	art, err := cluster.RunArtifact(opts)
+	if perr := profStop(); perr != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-cluster run: %v\n", perr)
+		return 1
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-cluster run: %v\n", err)
 		return 1
@@ -230,6 +290,7 @@ func runBench(args []string) int {
 	fs := flag.NewFlagSet("rcoe-cluster bench", flag.ExitOnError)
 	baseFn := clusterFlags(fs)
 	parallel := fs.Int("parallel", 0, "host workers for the experiment engine (0 = all cores)")
+	profStart, profStop := profileFlags(fs)
 	jsonOut := fs.Bool("json", false, "emit the rcoe-cluster/v1 JSON artifact")
 	outFile := fs.String("out", "", "write the artifact (text or JSON) to FILE")
 	quiet := fs.Bool("quiet", false, "suppress the progress log")
@@ -239,6 +300,9 @@ func runBench(args []string) int {
 	opts, err := baseFn()
 	if err == nil {
 		err = preflightOut(*outFile)
+	}
+	if err == nil {
+		err = profStart()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-cluster bench: %v\n", err)
@@ -251,6 +315,10 @@ func runBench(args []string) int {
 		}
 	}
 	art, err := cluster.Bench(bopts)
+	if perr := profStop(); perr != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-cluster bench: %v\n", perr)
+		return 1
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-cluster bench: %v\n", err)
 		return 1
@@ -262,6 +330,7 @@ func runFailover(args []string) int {
 	fs := flag.NewFlagSet("rcoe-cluster failover", flag.ExitOnError)
 	baseFn := clusterFlags(fs)
 	sysFn := systemFlags(fs)
+	profStart, profStop := profileFlags(fs)
 	victim := fs.Int("victim", 0, "shard to kill")
 	killAfter := fs.Uint64("kill-after", 20, "kill the victim after this many completed operations")
 	rolling := fs.Bool("rolling", false, "roll the drill through every shard")
@@ -276,6 +345,9 @@ func runFailover(args []string) int {
 	if err == nil {
 		err = preflightOut(*outFile)
 	}
+	if err == nil {
+		err = profStart()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-cluster failover: %v\n", err)
 		return 2
@@ -283,6 +355,10 @@ func runFailover(args []string) int {
 	art, err := cluster.FailoverDrill(cluster.FailoverOptions{
 		Base: opts, Victim: *victim, KillAfterOps: *killAfter, Rolling: *rolling,
 	})
+	if perr := profStop(); perr != nil {
+		fmt.Fprintf(os.Stderr, "rcoe-cluster failover: %v\n", perr)
+		return 1
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rcoe-cluster failover: %v\n", err)
 		return 1

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"rcoe/internal/netstack"
+)
+
+// Router hot-path batching: per-operation allocation amortization for
+// fill/drain. A routed operation used to cost three allocations (frame,
+// retained key, retained SET value) plus per-round scratch (the sorted
+// retransmission ID list, the drained response slice, a value copy per
+// decoded response). encodePending folds the first three into one
+// backing array; the shard scratch buffers (shard.idsBuf/respBuf) and
+// netstack.DecodeResponseInPlace remove the per-round ones.
+
+// encodePending encodes req and builds its pending entry with a single
+// allocation: the wire frame, the retained key, and (for SETs) the
+// retained value are consecutive regions of one backing array. Every
+// region is capacity-clipped so no later append can alias another.
+func encodePending(req netstack.Request, isLoad, opFinal bool) (*pending, error) {
+	frameLen := netstack.HeaderBytes + len(req.Key) + len(req.Value)
+	buf := make([]byte, 0, frameLen+len(req.Key)+len(req.Value))
+	buf, err := netstack.AppendRequest(buf, req)
+	if err != nil {
+		return nil, err
+	}
+	p := &pending{
+		wire:    req.ReqID,
+		isGet:   req.Op == netstack.OpGet,
+		isSet:   req.Op == netstack.OpSet,
+		isLoad:  isLoad,
+		opFinal: opFinal,
+	}
+	n := len(buf)
+	p.frame = buf[:n:n]
+	buf = append(buf, req.Key...)
+	p.key = buf[n:len(buf):len(buf)]
+	if p.isSet {
+		n = len(buf)
+		buf = append(buf, req.Value...)
+		p.value = buf[n:len(buf):len(buf)]
+	}
+	return p, nil
+}
+
+// HostProfile is the host-side wall-clock breakdown of the lockstep
+// rounds executed so far, accumulated per phase. It exists for scale
+// tests and profiling runs — router overhead (generate+fill+drain)
+// versus node execution (run) — and is never serialized into a Result,
+// so artifacts stay timing-free and byte-reproducible.
+type HostProfile struct {
+	Rounds     uint64
+	GenerateNS uint64
+	FillNS     uint64
+	RunNS      uint64
+	DrainNS    uint64
+}
+
+// TotalNS is the accumulated wall-clock of all phases.
+func (p HostProfile) TotalNS() uint64 {
+	return p.GenerateNS + p.FillNS + p.RunNS + p.DrainNS
+}
+
+// RouterShare is the fraction of round wall-clock spent outside node
+// execution — the router-side overhead the scale criterion bounds.
+func (p HostProfile) RouterShare() float64 {
+	total := p.TotalNS()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.GenerateNS+p.FillNS+p.DrainNS) / float64(total)
+}
+
+// HostProfile returns the accumulated per-phase host timing.
+func (c *Cluster) HostProfile() HostProfile { return c.prof }

@@ -253,6 +253,147 @@ func TestClusterDowngradeUnderLoad(t *testing.T) {
 	}
 }
 
+// TestClusterShardWorkerInvariance pins the tentpole contract: the
+// worker count that parallelizes per-shard chunk execution (and the
+// end-of-run audit) is invisible in the result — serial, adversarial
+// (3 workers over 3 shards), and all-cores runs produce byte-identical
+// JSON including the audit fields.
+func TestClusterShardWorkerInvariance(t *testing.T) {
+	var base string
+	for _, workers := range []int{1, 3, 0} {
+		opts := testOptions()
+		opts.Operations = 48
+		opts.ShardWorkers = workers
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		j, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == "" {
+			base = string(j)
+		} else if string(j) != base {
+			t.Fatalf("result differs at ShardWorkers=%d:\n%s\nvs workers=1:\n%s", workers, j, base)
+		}
+	}
+}
+
+// TestClusterPipelineAccounting pins that Pipeline=1 is bit-identical
+// to the default scheduler (the K=1 accounting contract) and that a
+// deeper pipeline still completes every operation with a clean audit.
+func TestClusterPipelineAccounting(t *testing.T) {
+	def, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	opts.Pipeline = 1
+	k1, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, _ := json.Marshal(def)
+	j1, _ := json.Marshal(k1)
+	if string(jd) != string(j1) {
+		t.Fatalf("Pipeline=1 differs from default:\n%s\n%s", j1, jd)
+	}
+	opts = testOptions()
+	opts.Pipeline = 4
+	k4, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.Ops != opts.Operations || k4.Errors != 0 || k4.LostWrites != 0 {
+		t.Fatalf("Pipeline=4: ops=%d errors=%d lost=%d", k4.Ops, k4.Errors, k4.LostWrites)
+	}
+}
+
+// TestClusterHaltParityUnderPool is the mid-round failure regression:
+// one DMR shard's replica stalls and the shard fail-stops (barrier
+// timeout) in the middle of the run. Under the worker pool the run
+// must surface exactly the serial outcome — same error, same result
+// bytes, same halt reason — rather than deadlocking the round barrier.
+func TestClusterHaltParityUnderPool(t *testing.T) {
+	run := func(workers int) (Result, string, string) {
+		opts := testOptions()
+		opts.Operations = 120
+		opts.System.BarrierTimeout = 200_000
+		opts.RetryCycles = 200_000
+		opts.MaxRetries = 2
+		opts.ShardWorkers = workers
+		c, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !c.LoadPhaseDone() {
+			c.Step()
+		}
+		c.Node(1).InjectStall(1)
+		res, err := c.Run()
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		res = c.Snapshot()
+		if !res.Shards[1].Halted {
+			t.Fatalf("workers=%d: victim shard did not halt", workers)
+		}
+		return res, errStr, res.Shards[1].HaltReason
+	}
+	serialRes, serialErr, serialReason := run(1)
+	for _, workers := range []int{3, 0} {
+		res, errStr, reason := run(workers)
+		if errStr != serialErr {
+			t.Fatalf("workers=%d error %q, serial %q", workers, errStr, serialErr)
+		}
+		if reason != serialReason {
+			t.Fatalf("workers=%d halt reason %q, serial %q", workers, reason, serialReason)
+		}
+		js, _ := json.Marshal(serialRes)
+		jp, _ := json.Marshal(res)
+		if string(js) != string(jp) {
+			t.Fatalf("workers=%d result differs from serial:\n%s\n%s", workers, jp, js)
+		}
+	}
+}
+
+// TestClusterParallelFailoverDrill runs the crash-and-replace drill —
+// checkpoint rounds, mid-run failover, state-transfer replay, final
+// audit — entirely under the worker pool. Run under -race in CI, it is
+// the data-race witness for pumpUntilAcked, checkpoint rounds, and the
+// parallel audit coexisting with concurrent chunk execution.
+func TestClusterParallelFailoverDrill(t *testing.T) {
+	opts := testOptions()
+	opts.Operations = 60
+	opts.CheckpointRounds = 1_000
+	opts.ShardWorkers = 4
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.LoadPhaseDone() {
+		c.Step()
+	}
+	for c.OpsDone() < 20 {
+		c.Step()
+	}
+	if err := c.Failover(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := c.VerifyAcked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("parallel drill lost %d acknowledged writes", lost)
+	}
+}
+
 // TestClusterHotKeySkew concentrates most operations on one key and
 // checks the owning shard absorbs a clear majority of the traffic —
 // the imbalance signal the skew campaign reports.

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard-parallel execution. During the run phase of a lockstep round
+// every shard's node advances by the same chunk with no interaction —
+// frames were injected during fill, responses are collected during
+// drain, and nodes share no mutable state — so the chunk executions
+// are embarrassingly parallel on the host. runShards is the fork-join
+// pool behind that: it exists per call (no persistent goroutines to
+// leak from a Cluster that is simply dropped), is bounded by the
+// worker count, and preserves the serial path's failure semantics.
+//
+// Determinism is unaffected by construction: the pool only decides
+// *when on the host* each shard's chunk runs, never what it computes —
+// each node's execution is a pure function of its injected frames and
+// its own simulated state. Everything order-sensitive (wire-ID
+// assignment, the acked-write ledger, retry/backoff bookkeeping)
+// happens in fill/drain, which stay serialized in shard-ID order on
+// the coordinator goroutine.
+
+// runShards runs fn(i) for every i in [0, n) on at most workers
+// goroutines. workers <= 1 (or n <= 1) runs inline on the caller's
+// goroutine — byte-for-byte today's serial behavior, including a panic
+// propagating before later shards run. In the parallel case a panicking
+// fn cannot be allowed to unwind its worker goroutine (that would kill
+// the process and deadlock nothing — Go aborts), so panics are captured
+// per index and the lowest-index one is re-raised on the caller after
+// the barrier, with its original value: the caller observes the same
+// panic a serial run would have surfaced first.
+func runShards(workers, n int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panics   = make([]any, n)
+		panicked atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+}

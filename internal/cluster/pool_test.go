@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunShardsCoversAll checks every index runs exactly once at any
+// worker/shard-count combination, including workers > shards and the
+// serial path.
+func TestRunShardsCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 5, 17} {
+			counts := make([]atomic.Int64, max(n, 1))
+			runShards(workers, n, func(i int) {
+				counts[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunShardsPanicPropagates pins the mid-round failure contract: a
+// panicking shard function under the pool re-raises its original panic
+// value on the caller after the barrier instead of killing a worker
+// goroutine (process abort) or deadlocking the round.
+func TestRunShardsPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				if r != "shard 2 exploded" {
+					t.Fatalf("workers=%d: recovered %v, want the original panic value", workers, r)
+				}
+			}()
+			runShards(workers, 5, func(i int) {
+				ran.Add(1)
+				if i == 2 {
+					panic("shard 2 exploded")
+				}
+			})
+			t.Fatalf("workers=%d: runShards returned instead of panicking", workers)
+		}()
+		if ran.Load() == 0 {
+			t.Fatalf("workers=%d: nothing ran", workers)
+		}
+	}
+}
+
+// TestRunShardsPanicLowestIndexWins: when several shards panic in one
+// round, the caller observes the lowest shard ID's panic — the one a
+// serial walk would have surfaced first.
+func TestRunShardsPanicLowestIndexWins(t *testing.T) {
+	defer func() {
+		if r := recover(); r != 1 {
+			t.Fatalf("recovered %v, want panic value 1 (lowest panicking shard)", r)
+		}
+	}()
+	runShards(4, 6, func(i int) {
+		if i >= 1 && i <= 4 {
+			panic(i)
+		}
+	})
+	t.Fatal("runShards returned instead of panicking")
+}
+
+// TestRunShardsSerialStopsAtPanic pins that workers<=1 keeps today's
+// serial semantics exactly: the panic propagates immediately, so later
+// shards never run.
+func TestRunShardsSerialStopsAtPanic(t *testing.T) {
+	var last atomic.Int64
+	last.Store(-1)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic")
+		}
+		if got := last.Load(); got != 1 {
+			t.Fatalf("serial run reached index %d after a panic at 1", got)
+		}
+	}()
+	runShards(1, 4, func(i int) {
+		last.Store(int64(i))
+		if i == 1 {
+			panic("stop")
+		}
+	})
+}

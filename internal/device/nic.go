@@ -109,10 +109,22 @@ func (n *NIC) TxLenPA() uint64 { return n.dmaBase + txLenOff }
 func (n *NIC) TxDataPA() uint64 { return n.dmaBase + txDataOff }
 
 // Inject queues a frame for delivery into the RX mailbox (the load
-// generator's "send").
+// generator's "send"). The frame is copied, so the caller may reuse its
+// buffer immediately.
 func (n *NIC) Inject(frame []byte) {
 	cp := append([]byte(nil), frame...)
 	n.pending = append(n.pending, cp)
+}
+
+// InjectRetained queues a frame without copying it. The NIC only ever
+// reads queued frames (delivery writes them into guest memory; the
+// RX-corruption fault flips bits in guest memory, not in the frame), so
+// a caller that promises not to mutate the bytes until delivery can
+// skip Inject's defensive copy. The cluster router injects a million
+// immutably-encoded frames during a scale preload — copying each would
+// be pure allocator load on the fill path.
+func (n *NIC) InjectRetained(frame []byte) {
+	n.pending = append(n.pending, frame)
 }
 
 // PendingRx returns the number of frames not yet delivered to the driver.
@@ -123,6 +135,19 @@ func (n *NIC) TakeResponses() [][]byte {
 	out := n.responses
 	n.responses = nil
 	return out
+}
+
+// DrainResponses appends the transmitted frames to dst and clears the
+// queue while keeping its backing array, so a caller polling every
+// round (the cluster drain loop) reuses both slice headers instead of
+// allocating them per round. The frame references are dropped from the
+// queue so the caller is their sole owner, exactly as with
+// TakeResponses.
+func (n *NIC) DrainResponses(dst [][]byte) [][]byte {
+	dst = append(dst, n.responses...)
+	clear(n.responses)
+	n.responses = n.responses[:0]
+	return dst
 }
 
 // Tick implements machine.Device: move queued frames into a free RX

@@ -139,8 +139,17 @@ func (n *Node) Options() NodeOptions { return n.opts }
 // Inject queues a request frame for delivery to the server.
 func (n *Node) Inject(frame []byte) { n.nic.Inject(frame) }
 
+// InjectRetained queues a frame without the defensive copy; the caller
+// must not mutate the bytes (see device.NIC.InjectRetained).
+func (n *Node) InjectRetained(frame []byte) { n.nic.InjectRetained(frame) }
+
 // TakeResponses returns and clears the server's transmitted frames.
 func (n *Node) TakeResponses() [][]byte { return n.nic.TakeResponses() }
+
+// DrainResponses appends the server's transmitted frames to dst and
+// clears the queue, reusing its capacity — the allocation-amortized
+// TakeResponses for callers that poll every round.
+func (n *Node) DrainResponses(dst [][]byte) [][]byte { return n.nic.DrainResponses(dst) }
 
 // PendingRx returns the number of injected frames not yet delivered.
 func (n *Node) PendingRx() int { return n.nic.PendingRx() }

@@ -68,8 +68,12 @@ type Response struct {
 	Value  []byte
 }
 
-// EncodeRequest serialises a request.
-func EncodeRequest(r Request) ([]byte, error) {
+// AppendRequest serialises a request, appending the frame to dst and
+// returning the extended slice. Hot paths (the cluster router encodes
+// every routed operation) pass a pre-sized buffer so one allocation can
+// back the frame and any retained copies; EncodeRequest is the
+// allocate-per-call convenience wrapper.
+func AppendRequest(dst []byte, r Request) ([]byte, error) {
 	if len(r.Key) == 0 || len(r.Key) > MaxKey {
 		return nil, fmt.Errorf("%w: key length %d", ErrBadFrame, len(r.Key))
 	}
@@ -80,18 +84,26 @@ func EncodeRequest(r Request) ([]byte, error) {
 	if vlen > MaxValue {
 		return nil, fmt.Errorf("%w: value length %d", ErrBadFrame, vlen)
 	}
-	buf := make([]byte, 0, HeaderBytes+len(r.Key)+len(r.Value))
-	buf = append(buf, r.Op, byte(len(r.Key)), byte(vlen), byte(vlen>>8),
+	dst = append(dst, r.Op, byte(len(r.Key)), byte(vlen), byte(vlen>>8),
 		byte(r.ReqID), byte(r.ReqID>>8), byte(r.ReqID>>16), byte(r.ReqID>>24))
-	buf = append(buf, r.Key...)
+	dst = append(dst, r.Key...)
 	if r.Op != OpScan {
-		buf = append(buf, r.Value...)
+		dst = append(dst, r.Value...)
 	}
-	return buf, nil
+	return dst, nil
 }
 
-// DecodeResponse parses a response frame.
-func DecodeResponse(b []byte) (Response, error) {
+// EncodeRequest serialises a request.
+func EncodeRequest(r Request) ([]byte, error) {
+	return AppendRequest(make([]byte, 0, HeaderBytes+len(r.Key)+len(r.Value)), r)
+}
+
+// DecodeResponseInPlace parses a response frame without copying the
+// value: the returned Response's Value aliases b, so it is only valid
+// while the caller owns the frame and must be copied to outlive it.
+// The cluster drain loop validates and discards each response before
+// touching the next frame, so the alias never escapes the iteration.
+func DecodeResponseInPlace(b []byte) (Response, error) {
 	if len(b) < HeaderBytes {
 		return Response{}, fmt.Errorf("%w: short response (%d bytes)", ErrBadFrame, len(b))
 	}
@@ -102,8 +114,18 @@ func DecodeResponse(b []byte) (Response, error) {
 	return Response{
 		Status: b[0],
 		ReqID:  uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
-		Value:  append([]byte(nil), b[HeaderBytes:HeaderBytes+vlen]...),
+		Value:  b[HeaderBytes : HeaderBytes+vlen : HeaderBytes+vlen],
 	}, nil
+}
+
+// DecodeResponse parses a response frame into freshly allocated storage.
+func DecodeResponse(b []byte) (Response, error) {
+	r, err := DecodeResponseInPlace(b)
+	if err != nil {
+		return Response{}, err
+	}
+	r.Value = append([]byte(nil), r.Value...)
+	return r, nil
 }
 
 // DecodeRequest parses a request frame. The cluster router decodes
